@@ -1,0 +1,65 @@
+"""Figure 7(a) bench -- one data pass per optimizer configuration.
+
+Benchmarks a full pass over a fixed set of frames for Adam (bs 1), RLEKF
+(bs 1), FEKF (bs 32, framework kernels) and FEKF (bs 32, all fused) -- the
+per-pass cost whose ratios the paper's end-to-end speedups converge to.
+End-to-end wall times: ``python -m repro.harness figure7a``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.model import DeePMD, make_batch
+from repro.optim import Adam, FEKF, KalmanConfig, RLEKF
+
+N_FRAMES = 32
+
+
+def _pass(optimizer, dataset, cfg, bs):
+    for lo in range(0, N_FRAMES, bs):
+        optimizer.step_batch(make_batch(dataset, np.arange(lo, lo + bs), cfg))
+
+
+def test_pass_adam_bs1(benchmark, cu_data, cfg, model):
+    adam = Adam(model)
+    benchmark(_pass, adam, cu_data, cfg, 1)
+
+
+def test_pass_rlekf_bs1_framework_kernels(benchmark, cu_data, cfg, model):
+    opt = RLEKF(model, KalmanConfig(blocksize=2048, fused_update=False), fused_env=False)
+    benchmark.pedantic(_pass, args=(opt, cu_data, cfg, 1), rounds=2, iterations=1)
+
+
+def test_pass_fekf_bs32_framework_kernels(benchmark, cu_data, cfg, model):
+    opt = FEKF(model, KalmanConfig(blocksize=2048, fused_update=False), fused_env=False)
+    benchmark(_pass, opt, cu_data, cfg, 32)
+
+
+def test_pass_fekf_bs32_optimized(benchmark, cu_data, cfg, model):
+    opt = FEKF(model, KalmanConfig(blocksize=2048, fused_update=True), fused_env=True)
+    benchmark(_pass, opt, cu_data, cfg, 32)
+
+
+def test_per_pass_ordering(cu_data, cfg):
+    """RLEKF pass >> FEKF pass > optimized FEKF pass (the paper's ladder)."""
+    import time
+
+    def time_pass(make_opt, bs):
+        model = DeePMD.for_dataset(cu_data, cfg, seed=1)
+        opt = make_opt(model)
+        t0 = time.perf_counter()
+        _pass(opt, cu_data, cfg, bs)
+        return time.perf_counter() - t0
+
+    t_rlekf = time_pass(
+        lambda m: RLEKF(m, KalmanConfig(blocksize=2048, fused_update=False)), 1
+    )
+    t_fekf = time_pass(
+        lambda m: FEKF(m, KalmanConfig(blocksize=2048, fused_update=False)), 32
+    )
+    t_opt = time_pass(
+        lambda m: FEKF(m, KalmanConfig(blocksize=2048, fused_update=True), fused_env=True),
+        32,
+    )
+    assert t_rlekf > 4 * t_fekf  # paper avg 11.6x at full data volume
+    assert t_fekf > 1.5 * t_opt  # paper avg 3.25x

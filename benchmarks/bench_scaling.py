@@ -1,0 +1,35 @@
+"""Sec. 5.3 scalability bench -- ring-allreduce cost vs world size.
+
+Benchmarks the chunked ring-allreduce at the paper's gradient size across
+GPU counts and asserts the per-rank volume follows 2(r-1)/r * payload.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel import SimCommunicator, allreduce_volume_bytes
+
+GRAD_ELEMENTS = 26551  # paper network
+
+
+@pytest.mark.parametrize("world", [2, 4, 8, 16])
+def test_ring_allreduce_gradient(benchmark, world):
+    rng = np.random.default_rng(0)
+    bufs = [rng.normal(size=GRAD_ELEMENTS) for _ in range(world)]
+
+    def run():
+        return SimCommunicator(world).ring_allreduce(bufs)
+
+    out = benchmark(run)
+    assert np.allclose(out[0], np.sum(bufs, axis=0), atol=1e-9)
+
+
+@pytest.mark.parametrize("world", [2, 4, 8, 16])
+def test_volume_formula(world):
+    comm = SimCommunicator(world)
+    comm.ring_allreduce([np.ones(GRAD_ELEMENTS) for _ in range(world)])
+    assert comm.ledger.bytes_sent_per_rank == pytest.approx(
+        allreduce_volume_bytes(GRAD_ELEMENTS, world), rel=1e-9
+    )
+    # the paper's ~0.2 MB gradient claim
+    assert comm.ledger.bytes_sent_per_rank < 0.45e6

@@ -1,0 +1,39 @@
+"""Table 1 bench -- Adam per-step cost vs batch size.
+
+The paper's Table 1 shows large-batch Adam wastes *epochs*; the flip side
+measured here is that per-step cost grows sub-linearly with batch size
+(the vectorization win that motivates large batches in the first place).
+Full epoch-growth numbers: ``python -m repro.harness table1``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.model import make_batch
+from repro.optim import Adam
+
+
+@pytest.mark.parametrize("bs", [1, 8, 32])
+def test_adam_step_cost_vs_batch(benchmark, cu_data, cfg, model, bs):
+    adam = Adam(model)
+    batch = make_batch(cu_data, np.arange(bs), cfg)
+    stats = benchmark(adam.step_batch, batch)
+    assert stats["loss"] > 0
+
+
+def test_adam_step_sublinear_in_batch(cu_data, cfg, model):
+    """bs-32 steps must cost far less than 32x a bs-1 step."""
+    import time
+
+    adam = Adam(model)
+
+    def step_time(bs, reps=3):
+        batch = make_batch(cu_data, np.arange(bs), cfg)
+        adam.step_batch(batch)  # warm
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            adam.step_batch(batch)
+        return (time.perf_counter() - t0) / reps
+
+    t1, t32 = step_time(1), step_time(32)
+    assert t32 < 16 * t1

@@ -1,0 +1,52 @@
+"""Concurrent (active) learning: the full online-learning vision.
+
+Minutes-scale FEKF training makes the DP-GEN-style loop practical: drive
+MD with the current surrogate, let an ensemble flag configurations it is
+unsure about, label only those with the (expensive) reference method, and
+fine-tune the committee -- over and over, climbing a temperature ladder.
+
+Run:  python examples/active_learning.py
+"""
+
+import numpy as np
+
+from repro.data import SYSTEMS, generate_dataset
+from repro.model import DeePMDConfig, ModelEnsemble
+from repro.train import ActiveLearner, ActiveLearningConfig
+
+
+def main() -> None:
+    print("Seeding with a small labeled dataset at 300 K...")
+    seed_data = generate_dataset("Cu", frames_per_temperature=12, size="small",
+                                 equilibration_steps=15, stride=3)
+    cfg = DeePMDConfig.scaled_down(rcut=4.0, nmax=18)
+    ensemble = ModelEnsemble.for_dataset(seed_data, cfg, n_models=3, seed=1)
+
+    spec = SYSTEMS["Cu"]
+    _, cell, sp, reference = spec.build("small")
+    learner = ActiveLearner(
+        ensemble, reference, sp, spec.masses(sp), cell,
+        ActiveLearningConfig(md_steps=100, sample_every=10,
+                             epochs_per_round=2, max_new_frames=8),
+        initial_data=seed_data,
+        seed=0,
+    )
+
+    ladder = [400.0, 600.0, 800.0, 1000.0]
+    print(f"{'round':>5} {'T(K)':>6} {'cand':>5} {'kept':>5} "
+          f"{'max-F dev':>10} {'train(s)':>9} {'RMSE':>8} {'#labeled':>9}")
+    start = seed_data.positions[0]
+    for temp in ladder:
+        stats = learner.run_round(start, temp)
+        print(f"{stats.round_index:>5} {temp:>6.0f} {stats.n_candidates:>5} "
+              f"{stats.n_selected:>5} {stats.mean_deviation:>10.3f} "
+              f"{stats.train_seconds:>9.1f} {stats.rmse_after:>8.4f} "
+              f"{learner.labeled.n_frames:>9}")
+
+    print("\nThe ensemble deviation shrinks as the committee agrees on the "
+          "newly explored regions; each retraining took seconds, which is "
+          "exactly what makes running this loop 20-100 times viable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Data-parallel FEKF on a simulated GPU cluster (paper Sec. 3.3, Table 5).
+
+Shards a large minibatch over simulated ranks, runs the byte-exact ring
+allreduce for gradients, and verifies the central claim: every rank's P
+replica stays bit-identical, so P never has to be communicated.  Prints
+the per-step communication ledger next to what Naive-EKF would have moved.
+
+Run:  python examples/distributed_training.py
+"""
+
+import numpy as np
+
+from repro import DeePMD, DeePMDConfig, DistributedFEKF, KalmanConfig, Trainer, generate_dataset
+from repro.parallel import allreduce_volume_bytes
+
+
+def main() -> None:
+    data = generate_dataset("Cu", frames_per_temperature=32, size="small",
+                            equilibration_steps=20, stride=3)
+    train, test = data.split(0.8, seed=0)
+    cfg = DeePMDConfig.scaled_down(rcut=4.0, nmax=18)
+    model = DeePMD.for_dataset(train, cfg, seed=1)
+
+    world = 4
+    opt = DistributedFEKF(
+        model,
+        world_size=world,
+        kalman_cfg=KalmanConfig(blocksize=2048, fused_update=True),
+        verify_replicas=True,  # assert bit-identical P on every update
+        seed=0,
+    )
+    print(f"Training on {world} simulated GPUs, batch 16 (4 frames/rank)...")
+    result = Trainer(model, opt, train, test, batch_size=16, seed=0).run(
+        max_epochs=6, verbose=True
+    )
+
+    steps = opt.timing.steps
+    grad_mb = opt.comm.ledger.bytes_sent_per_rank / 1e6
+    p_elements = sum(b.size**2 for b in opt.kalman.blocks)
+    naive_mb = allreduce_volume_bytes(p_elements, world) / 1e6 * steps * 5
+
+    print(f"\nSimulated wall clock: compute {opt.timing.compute_s:.1f}s + "
+          f"comm {opt.timing.comm_s * 1e3:.2f}ms + "
+          f"Kalman {opt.timing.kalman_s:.1f}s")
+    print(f"Per-rank traffic over {steps} steps: {grad_mb:.2f} MB "
+          f"(gradients + ABE scalars only)")
+    print(f"Naive-EKF would additionally move its P replicas: ~{naive_mb:.0f} MB")
+    print("P replicas verified bit-identical on every update -- zero P traffic.")
+    best = min(result.history, key=lambda r: r.train_total)
+    print(f"Best train E+F RMSE: {best.train_total:.4f}")
+
+
+if __name__ == "__main__":
+    main()

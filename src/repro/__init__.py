@@ -1,0 +1,62 @@
+"""repro -- a from-scratch reproduction of "Training one DeePMD Model in
+Minutes: a Step towards Online Learning" (PPoPP '24).
+
+The package builds the whole stack on numpy: a double-backward autograd
+engine, a classical-MD data generator standing in for ab-initio labels,
+the DeePMD network with its symmetry-preserving descriptor, the FEKF /
+RLEKF / Naive-EKF Kalman-filter optimizers, a simulated multi-GPU
+data-parallel trainer, and a harness regenerating every table and figure
+of the paper's evaluation.
+
+Quickstart::
+
+    from repro import generate_dataset, DeePMD, DeePMDConfig, FEKF, Trainer
+    from repro.optim import KalmanConfig
+
+    data = generate_dataset("Cu", frames_per_temperature=32, size="small")
+    train, test = data.split(0.8)
+    model = DeePMD.for_dataset(train, DeePMDConfig.scaled_down(rcut=4.0))
+    opt = FEKF(model, KalmanConfig(blocksize=2048, fused_update=True),
+               fused_env=True)
+    Trainer(model, opt, train, test, batch_size=32).run(max_epochs=10)
+    print(model.evaluate_rmse(test))
+"""
+
+from .autograd import KernelCounter, Tensor, grad, no_grad
+from .data import BatchLoader, Dataset, SYSTEMS, generate_dataset, load_dataset, save_dataset
+from .model import DeePMD, DeePMDConfig, make_batch
+from .model.calculator import DeePMDCalculator
+from .optim import FEKF, Adam, KalmanConfig, NaiveEKF, RLEKF, SGD
+from .parallel import DistributedFEKF, SimCommunicator
+from .train import TargetCriterion, Trainer, TrainResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Tensor",
+    "grad",
+    "no_grad",
+    "KernelCounter",
+    "Dataset",
+    "BatchLoader",
+    "SYSTEMS",
+    "generate_dataset",
+    "save_dataset",
+    "load_dataset",
+    "DeePMD",
+    "DeePMDConfig",
+    "DeePMDCalculator",
+    "make_batch",
+    "FEKF",
+    "RLEKF",
+    "NaiveEKF",
+    "Adam",
+    "SGD",
+    "KalmanConfig",
+    "DistributedFEKF",
+    "SimCommunicator",
+    "Trainer",
+    "TrainResult",
+    "TargetCriterion",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""repro.autograd -- reverse-mode autodiff on numpy with double backward.
+
+Public surface::
+
+    from repro.autograd import Tensor, grad, no_grad, fused_kernels
+    from repro.autograd import ops            # primitive functional ops
+    from repro.autograd.fuse import linear_tanh, residual_linear_tanh
+    from repro.autograd.instrument import KernelCounter
+"""
+
+from .config import config, enable_grad, fused_kernels, no_grad
+from .gradcheck import check_gradients, numerical_grad
+from .instrument import KernelCounter, record_launch
+from .tensor import Tensor, as_tensor, grad, make_op
+from . import fuse, ops
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "grad",
+    "make_op",
+    "no_grad",
+    "enable_grad",
+    "fused_kernels",
+    "config",
+    "ops",
+    "fuse",
+    "KernelCounter",
+    "record_launch",
+    "check_gradients",
+    "numerical_grad",
+]

@@ -1,0 +1,79 @@
+"""Kernel-launch instrumentation.
+
+On a GPU every primitive tensor operation becomes (at least) one CUDA kernel
+launch; the paper's Figure 7(b) counts those launches under successive
+optimizations.  Our numpy engine plays the same game at op granularity:
+every primitive op executed by :mod:`repro.autograd.ops` reports itself to
+the active :class:`KernelCounter` (if any), which records
+
+* the number of "launches" per op name,
+* the bytes allocated for op outputs (a proxy for device-memory traffic).
+
+Fused kernels (``linear_tanh``, the fused P-update in the optimizer, the
+hand-written symmetry-descriptor derivative) count as a *single* launch, so
+the baseline/opt1/opt2/opt3 presets show the same qualitative reduction the
+paper reports (397 -> 174 kernels for an energy update, 846 -> 281 for a
+force update).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+_ACTIVE: list["KernelCounter"] = []
+
+
+@dataclass
+class KernelCounter:
+    """Counts primitive op executions ("kernel launches") and output bytes.
+
+    Use as a context manager::
+
+        with KernelCounter() as kc:
+            loss = model(batch)
+            loss.backward()
+        print(kc.total_launches, kc.total_bytes)
+    """
+
+    launches: Counter = field(default_factory=Counter)
+    bytes_allocated: int = 0
+
+    def record(self, op_name: str, nbytes: int = 0) -> None:
+        self.launches[op_name] += 1
+        self.bytes_allocated += int(nbytes)
+
+    @property
+    def total_launches(self) -> int:
+        return sum(self.launches.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_allocated
+
+    def reset(self) -> None:
+        self.launches.clear()
+        self.bytes_allocated = 0
+
+    def __enter__(self) -> "KernelCounter":
+        _ACTIVE.append(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _ACTIVE.remove(self)
+
+    def breakdown(self, top: int = 10) -> list[tuple[str, int]]:
+        """The ``top`` most-launched op names, descending."""
+        return self.launches.most_common(top)
+
+
+def record_launch(op_name: str, nbytes: int = 0) -> None:
+    """Report one kernel launch to every active counter (nestable)."""
+    for counter in _ACTIVE:
+        counter.record(op_name, nbytes)
+
+
+def active_counter() -> Optional[KernelCounter]:
+    """The innermost active counter, or ``None``."""
+    return _ACTIVE[-1] if _ACTIVE else None

@@ -1,0 +1,247 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This is the substrate that replaces PyTorch in the reproduction.  Two design
+requirements come straight from the paper:
+
+1. **Double backward.**  DeePMD fits atomic *forces*, i.e. the gradient of
+   the network output w.r.t. its input coordinates.  Training on forces
+   therefore needs gradients *of gradients* (d(dE/dr)/dw).  Every op's
+   backward closure is written in terms of tensor ops, so running
+   ``backward(create_graph=True)`` builds a differentiable graph of the
+   backward pass and higher-order derivatives come out exactly.
+
+2. **Kernel-launch accounting.**  Every primitive op reports itself to
+   :mod:`repro.autograd.instrument`, which is how the Figure 7(b)
+   kernel-count experiment is reproduced.
+
+The engine is deliberately eager and minimal: a :class:`Tensor` wraps an
+``ndarray`` plus (optionally) the closure that maps an output gradient to
+parent gradients.  ``backward`` is an iterative reverse topological sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from .config import config, enable_grad, no_grad
+from .instrument import record_launch
+
+ArrayLike = Union[np.ndarray, float, int, list, tuple]
+
+_GRAD_DTYPE = np.float64
+
+
+class Tensor:
+    """A numpy array plus an autograd graph edge.
+
+    Parameters
+    ----------
+    data:
+        Array (or scalar / nested list) holding the values.  Float data is
+        kept in float64: the Kalman-filter optimizers are sensitive to the
+        conditioning of the P update, and the paper's systems run in a
+        regime where fp32 round-off visibly perturbs convergence traces.
+    requires_grad:
+        Whether gradients should be accumulated into ``.grad`` for this
+        tensor when it participates in a ``backward`` call.
+    """
+
+    __slots__ = ("data", "requires_grad", "grad", "_parents", "_backward_fn", "_op")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False):
+        if isinstance(data, Tensor):  # pragma: no cover - defensive
+            data = data.data
+        arr = np.asarray(data)
+        if arr.dtype.kind == "f" and arr.dtype != _GRAD_DTYPE:
+            arr = arr.astype(_GRAD_DTYPE)
+        elif arr.dtype.kind in "iu" and requires_grad:
+            raise TypeError("integer tensors cannot require gradients")
+        self.data: np.ndarray = arr
+        self.requires_grad: bool = bool(requires_grad)
+        self.grad: Optional[Tensor] = None
+        self._parents: tuple["Tensor", ...] = ()
+        self._backward_fn: Optional[Callable] = None
+        self._op: str = "leaf"
+
+    # ------------------------------------------------------------------
+    # basic introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def item(self) -> float:
+        if self.data.size != 1:
+            raise ValueError("item() requires a single-element tensor")
+        return float(self.data.item())
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (no copy).  Mutating it bypasses autograd."""
+        return self.data
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        grad_tag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_tag}, op={self._op})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # graph bookkeeping
+    # ------------------------------------------------------------------
+    def is_leaf(self) -> bool:
+        return self._backward_fn is None
+
+    def detach(self) -> "Tensor":
+        """A view of the same data cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # backward engine
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional["Tensor"] = None, create_graph: bool = False) -> None:
+        """Accumulate gradients of ``self`` into the ``.grad`` of every
+        reachable leaf with ``requires_grad``.
+
+        ``create_graph=True`` runs the backward closures with graph
+        recording enabled so the produced gradients are themselves
+        differentiable (needed for force training and for d(force)/dw in
+        the EKF updates).
+        """
+        grads = _run_backward(self, grad, create_graph)
+        for node, g in grads.items():
+            if node.requires_grad and node.is_leaf():
+                if node.grad is None:
+                    node.grad = g
+                else:
+                    node.grad = Tensor(node.grad.data + g.data)
+
+    # operator sugar is attached in ops.py (to avoid an import cycle the
+    # primitive implementations live there and register methods here).
+
+
+def _topo_order(root: Tensor) -> list[Tensor]:
+    """Iterative post-order DFS over the subgraph that requires grad."""
+    order: list[Tensor] = []
+    visited: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for p in node._parents:
+            if p.requires_grad and id(p) not in visited:
+                stack.append((p, False))
+    return order
+
+
+def _run_backward(
+    root: Tensor, seed: Optional[Tensor], create_graph: bool
+) -> dict[Tensor, Tensor]:
+    if not root.requires_grad:
+        raise RuntimeError("backward() called on a tensor that does not require grad")
+    if seed is None:
+        if root.size != 1:
+            raise RuntimeError("grad must be supplied for non-scalar outputs")
+        seed = Tensor(np.ones_like(root.data))
+    elif not isinstance(seed, Tensor):
+        seed = Tensor(np.asarray(seed, dtype=_GRAD_DTYPE))
+
+    ctx = enable_grad() if create_graph else no_grad()
+    grads: dict[int, Tensor] = {id(root): seed}
+    by_id: dict[int, Tensor] = {id(root): root}
+    with ctx:
+        for node in reversed(_topo_order(root)):
+            g = grads.get(id(node))
+            if g is None or node._backward_fn is None:
+                continue
+            parent_grads = node._backward_fn(g)
+            for parent, pg in zip(node._parents, parent_grads):
+                if pg is None or not parent.requires_grad:
+                    continue
+                pid = id(parent)
+                by_id[pid] = parent
+                if pid in grads:
+                    grads[pid] = grads[pid] + pg  # uses the add op
+                else:
+                    grads[pid] = pg
+    return {by_id[k]: v for k, v in grads.items()}
+
+
+def grad(
+    output: Tensor,
+    inputs: Sequence[Tensor],
+    grad_output: Optional[Tensor] = None,
+    create_graph: bool = False,
+    allow_unused: bool = True,
+) -> tuple[Tensor, ...]:
+    """Functional gradient: d(output)/d(inputs) without touching ``.grad``.
+
+    Returns one tensor per input.  Inputs that the output does not depend on
+    get a zeros tensor when ``allow_unused`` (the default), otherwise a
+    ``RuntimeError`` is raised.
+    """
+    grads = _run_backward(output, grad_output, create_graph)
+    out: list[Tensor] = []
+    for inp in inputs:
+        g = grads.get(inp)
+        if g is None:
+            if not allow_unused:
+                raise RuntimeError("one of the inputs is unused in the graph")
+            g = Tensor(np.zeros_like(inp.data))
+        out.append(g)
+    return tuple(out)
+
+
+def make_op(
+    data: np.ndarray,
+    parents: Iterable[Tensor],
+    backward_fn: Callable,
+    op: str,
+    launches: int = 1,
+) -> Tensor:
+    """Create the result tensor of a primitive op.
+
+    Records ``launches`` kernel launches (fused kernels pass 1 even though
+    they may issue several numpy calls internally) and wires the graph edge
+    if grad mode is on and any parent requires grad.
+    """
+    for _ in range(launches):
+        record_launch(op, data.nbytes // max(launches, 1))
+    parents = tuple(parents)
+    rg = config.grad_enabled and any(p.requires_grad for p in parents)
+    out = Tensor(data, requires_grad=rg)
+    if rg:
+        out._parents = parents
+        out._backward_fn = backward_fn
+        out._op = op
+    return out
+
+
+def as_tensor(x: Union[Tensor, ArrayLike]) -> Tensor:
+    """Coerce scalars/arrays to constant tensors (pass tensors through)."""
+    if isinstance(x, Tensor):
+        return x
+    return Tensor(np.asarray(x, dtype=_GRAD_DTYPE))

@@ -1,0 +1,20 @@
+"""repro.data -- datasets, storage, batching, and the Table 3 systems."""
+
+from .dataset import Dataset, NeighborArrays
+from .loader import BatchLoader
+from .store import load_dataset, save_dataset
+from .systems import EXTRA_SYSTEMS, SYSTEMS, SystemSpec, generate_dataset, get_system, table3_rows
+
+__all__ = [
+    "Dataset",
+    "NeighborArrays",
+    "BatchLoader",
+    "save_dataset",
+    "load_dataset",
+    "SYSTEMS",
+    "EXTRA_SYSTEMS",
+    "get_system",
+    "SystemSpec",
+    "generate_dataset",
+    "table3_rows",
+]

@@ -1,0 +1,56 @@
+"""Dataset generation CLI (the paper artifact's feature-generation step).
+
+    python -m repro.data Cu --frames 48 --size paper --out datasets/cu.npz
+
+Samples the requested system with the classical-MD labeler, optionally
+precomputes the padded neighbor tables at the system's descriptor cutoff,
+and saves everything as one npz ("Saving npy file done").
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from ..md.neighbor import max_neighbor_count
+from .store import save_dataset
+from .systems import SYSTEMS, generate_dataset
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.data")
+    parser.add_argument("system", choices=sorted(SYSTEMS), help="Table 3 system")
+    parser.add_argument("--frames", type=int, default=48, help="frames per temperature")
+    parser.add_argument("--size", default="paper", choices=("paper", "small", "tiny"))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None, help="output npz path")
+    parser.add_argument(
+        "--neighbors",
+        action="store_true",
+        help="precompute padded neighbor tables at the system cutoff",
+    )
+    args = parser.parse_args(argv)
+
+    spec = SYSTEMS[args.system]
+    t0 = time.perf_counter()
+    ds = generate_dataset(
+        args.system, frames_per_temperature=args.frames, size=args.size, seed=args.seed
+    )
+    print(
+        f"sampled {ds.n_frames} frames x {ds.n_atoms} atoms "
+        f"({time.perf_counter() - t0:.1f}s); E/atom mean/std = "
+        f"{ds.energy_per_atom_stats()[0]:.4f}/{ds.energy_per_atom_stats()[1]:.4f}"
+    )
+    if args.neighbors:
+        rcut = min(spec.rcut, max(ds.cell.max_cutoff() * 0.99, spec.first_shell * 1.35))
+        nmax = max_neighbor_count(ds.positions[0], ds.cell, rcut) + 2
+        ds.ensure_neighbors(rcut, nmax)
+        print(f"neighbor tables built at rcut={rcut:.2f} A, Nm={nmax}")
+    out = args.out or f"{args.system.lower()}_{args.size}.npz"
+    save_dataset(ds, out)
+    print(f"Saving npy file done -> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""Minibatch iteration over datasets.
+
+The loader yields frame-index arrays; the model's input pipeline turns them
+into batched descriptor inputs.  Shuffling is seeded per epoch so training
+runs are exactly reproducible -- convergence-epoch comparisons between
+optimizers (Tables 1 and 4) depend on that determinism.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .dataset import Dataset
+
+
+class BatchLoader:
+    """Iterate a dataset in shuffled minibatches of frame indices."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int,
+        shuffle: bool = True,
+        drop_last: bool = True,
+        seed: int = 0,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.seed = seed
+        self._epoch = 0
+
+    def __len__(self) -> int:
+        n = self.dataset.n_frames
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def epoch(self, epoch_index: int | None = None) -> Iterator[np.ndarray]:
+        """Yield minibatch index arrays for one epoch."""
+        if epoch_index is None:
+            epoch_index = self._epoch
+            self._epoch += 1
+        n = self.dataset.n_frames
+        order = np.arange(n)
+        if self.shuffle:
+            rng = np.random.default_rng(self.seed + 7919 * epoch_index)
+            order = rng.permutation(n)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for lo in range(0, stop, self.batch_size):
+            yield order[lo : lo + self.batch_size]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return self.epoch()

@@ -1,0 +1,53 @@
+"""npz-backed persistence for datasets (the paper's "Saving npy file done"
+feature-generation step)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..md.cell import Cell
+from .dataset import Dataset, NeighborArrays
+
+
+def save_dataset(dataset: Dataset, path: str) -> None:
+    """Serialize a dataset (and cached neighbor tables, if any) to ``path``."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    payload = dict(
+        name=np.array(dataset.name),
+        positions=dataset.positions,
+        energies=dataset.energies,
+        forces=dataset.forces,
+        species=dataset.species,
+        cell_lengths=dataset.cell.lengths,
+        temperatures=dataset.temperatures,
+    )
+    nb = dataset._neighbors
+    if nb is not None:
+        payload.update(
+            nb_idx=nb.idx, nb_shift=nb.shift, nb_mask=nb.mask, nb_rcut=np.array(nb.rcut)
+        )
+    np.savez_compressed(path, **payload)
+
+
+def load_dataset(path: str) -> Dataset:
+    """Load a dataset written by :func:`save_dataset`."""
+    with np.load(path, allow_pickle=False) as z:
+        ds = Dataset(
+            name=str(z["name"]),
+            positions=z["positions"],
+            energies=z["energies"],
+            forces=z["forces"],
+            species=z["species"],
+            cell=Cell(z["cell_lengths"]),
+            temperatures=z["temperatures"],
+        )
+        if "nb_idx" in z:
+            ds._neighbors = NeighborArrays(
+                idx=z["nb_idx"],
+                shift=z["nb_shift"],
+                mask=z["nb_mask"],
+                rcut=float(z["nb_rcut"]),
+            )
+    return ds

@@ -1,0 +1,80 @@
+"""CLI for the experiment harness: ``python -m repro.harness <experiment>``."""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+import time
+
+from . import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name, 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--systems",
+        default=None,
+        help="'quick' (Cu only, default), 'all', or comma-separated names",
+    )
+    parser.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        help="frames per temperature (overrides the experiment default)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--markdown", action="store_true", help="emit markdown instead of text tables"
+    )
+    parser.add_argument(
+        "--out", default="RESULTS.md", help="output path for 'report'"
+    )
+    parser.add_argument(
+        "--heavy", action="store_true",
+        help="full-scale sweeps for 'report' (slow)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "report":
+        from .report import generate
+
+        generate(args.out, systems=args.systems, heavy=args.heavy)
+        return 0
+
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
+            return 2
+        fn = EXPERIMENTS[name]
+        kwargs = {}
+        sig = inspect.signature(fn)
+        if "systems" in sig.parameters and args.systems is not None:
+            kwargs["systems"] = args.systems
+        if "frames_per_temperature" in sig.parameters and args.frames is not None:
+            kwargs["frames_per_temperature"] = args.frames
+        if "seed" in sig.parameters:
+            kwargs["seed"] = args.seed
+        t0 = time.perf_counter()
+        report = fn(**kwargs)
+        elapsed = time.perf_counter() - t0
+        print(report.markdown() if args.markdown else report.format_table())
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,107 @@
+"""Table 1 -- Adam epochs-to-target blow up under larger minibatches.
+
+Protocol (paper Sec. 1 + Table 1): train single-sample Adam with the
+default schedule until the energy RMSE converges -- that value is the
+per-system target.  Then train Adam at the larger batch sizes under the
+*same* per-step schedule with the learning rate multiplied by sqrt(bs)
+(the paper's best-performing "default setting" readjustment) and count
+epochs until the same energy RMSE is reached.  The reproduction target is
+the shape: a large epoch-growth factor from bs 1 to 32 and about another
+2x from 32 to 64.
+"""
+
+from __future__ import annotations
+
+from ..optim.first_order import Adam, ExponentialDecay
+from ..train.trainer import TargetCriterion, Trainer
+from .common import Report, experiment_setup, parse_systems
+
+
+def run(
+    systems: str | None = None,
+    batch_sizes: tuple[int, ...] = (1, 32, 64),
+    frames_per_temperature: int = 48,
+    base_epochs: int = 80,
+    max_epochs_large: int = 1200,
+    target_slack: float = 1.02,
+    seed: int = 0,
+) -> Report:
+    bs_ref, bs_mid, bs_big = batch_sizes
+    report = Report(
+        experiment="Table 1",
+        title="Adam convergence vs training batch size",
+        headers=[
+            "System",
+            "Energy RMSE (eV/atom)",
+            f"bs {bs_ref}",
+            f"bs {bs_mid}",
+            f"bs {bs_big}",
+            f"growth {bs_mid}/{bs_ref}",
+            f"growth {bs_big}/{bs_mid}",
+        ],
+        paper_reference="Table 1: epoch growth ~12-25x for 32/1, ~2x for 64/32",
+    )
+    for system in parse_systems(systems):
+        setup = experiment_setup(
+            system, frames_per_temperature=frames_per_temperature, seed=seed
+        )
+        # one per-step schedule shared by every batch size (the paper keeps
+        # the 5000-step decay for all bs); horizon scaled so the bs1 run
+        # converges near its data-limited floor rather than stalling early
+        total_ref_steps = setup.train.n_frames * base_epochs
+        decay_steps = max(total_ref_steps // 100, 5)
+
+        def make_adam(model):
+            return Adam(
+                model,
+                schedule=ExponentialDecay(lr0=1e-3, rate=0.95, steps=decay_steps),
+                batch_scale_lr=True,
+            )
+
+        model = setup.model(seed=1)
+        ref = Trainer(
+            model, make_adam(model), setup.train, setup.test, batch_size=bs_ref,
+            seed=seed, eval_every=2,
+        ).run(max_epochs=base_epochs)
+        target_e = ref.history[-1].train_energy_rmse * target_slack
+        epochs_ref = next(
+            r.epoch for r in ref.history if r.train_energy_rmse <= target_e
+        )
+
+        epochs_at: dict[int, str] = {bs_ref: str(epochs_ref)}
+        for bs in (bs_mid, bs_big):
+            if setup.train.n_frames < bs:
+                epochs_at[bs] = "n/a"
+                continue
+            model = setup.model(seed=1)
+            res = Trainer(
+                model, make_adam(model), setup.train, setup.test, batch_size=bs,
+                seed=seed, eval_every=max(max_epochs_large // 150, 1),
+            ).run(
+                max_epochs=max_epochs_large,
+                target=TargetCriterion(target_e, metric="energy"),
+            )
+            epochs_at[bs] = (
+                str(res.epochs_to_target) if res.converged else f">{max_epochs_large}"
+            )
+
+        def growth(a: str, b: str) -> str:
+            try:
+                return f"{float(b.lstrip('>')) / float(a.lstrip('>')):.1f}x"
+            except (ValueError, ZeroDivisionError):
+                return "-"
+
+        report.add_row(
+            system,
+            f"{target_e:.4f}",
+            epochs_at[bs_ref],
+            epochs_at[bs_mid],
+            epochs_at[bs_big],
+            growth(epochs_at[bs_ref], epochs_at[bs_mid]),
+            growth(epochs_at[bs_mid], epochs_at[bs_big]),
+        )
+    report.notes.append(
+        "synthetic datasets + scaled network; epoch counts differ from the "
+        "paper's but the growth factors are the reproduction target"
+    )
+    return report

@@ -1,0 +1,81 @@
+"""Trajectory analysis: RDF, mean-squared displacement, drift checks.
+
+Used by the NNMD validation path: after training a surrogate in minutes,
+the practical question is whether MD driven by it samples the same
+structure as the reference potential.  The radial distribution function
+and mean-squared displacement are the standard observables for that
+comparison (the examples and tests compare NN-driven vs reference-driven
+trajectories with them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cell import Cell
+
+
+def radial_distribution(
+    frames: np.ndarray,
+    cell: Cell,
+    r_max: float | None = None,
+    n_bins: int = 60,
+) -> tuple[np.ndarray, np.ndarray]:
+    """g(r) averaged over ``frames`` (F, N, 3).
+
+    Returns (bin centers, g) normalized so that an ideal gas gives
+    g(r) = 1.  ``r_max`` defaults to the minimum-image radius.
+    """
+    frames = np.asarray(frames)
+    if frames.ndim == 2:
+        frames = frames[None]
+    f, n, _ = frames.shape
+    if r_max is None:
+        r_max = cell.max_cutoff()
+    edges = np.linspace(0.0, r_max, n_bins + 1)
+    counts = np.zeros(n_bins)
+    for t in range(f):
+        dr = frames[t][None, :, :] - frames[t][:, None, :]
+        dr = cell.minimum_image(dr)
+        r = np.sqrt(np.sum(dr * dr, axis=-1))
+        iu = np.triu_indices(n, k=1)
+        h, _ = np.histogram(r[iu], bins=edges)
+        counts += h
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    shell_vol = 4.0 / 3.0 * np.pi * (edges[1:] ** 3 - edges[:-1] ** 3)
+    density = n / cell.volume
+    ideal = shell_vol * density * n / 2.0  # expected pair counts per frame
+    g = counts / (f * ideal)
+    return centers, g
+
+
+def mean_squared_displacement(
+    frames: np.ndarray, cell: Cell | None = None
+) -> np.ndarray:
+    """MSD(t) relative to the first frame, averaged over atoms.
+
+    If a cell is given, displacements between *consecutive* frames are
+    minimum-imaged and accumulated (unwrapping), so wrapped trajectories
+    produce the physical MSD.
+    """
+    frames = np.asarray(frames)
+    f = frames.shape[0]
+    if cell is not None:
+        unwrapped = np.empty_like(frames)
+        unwrapped[0] = frames[0]
+        for t in range(1, f):
+            step = cell.minimum_image(frames[t] - frames[t - 1])
+            unwrapped[t] = unwrapped[t - 1] + step
+        frames = unwrapped
+    disp = frames - frames[0]
+    return np.mean(np.sum(disp * disp, axis=-1), axis=-1)
+
+
+def rdf_similarity(g1: np.ndarray, g2: np.ndarray) -> float:
+    """A [0, 1] overlap score between two RDFs (1 = identical structure):
+    1 - |g1-g2|_1 / (|g1|_1 + |g2|_1)."""
+    g1, g2 = np.asarray(g1), np.asarray(g2)
+    denom = np.abs(g1).sum() + np.abs(g2).sum()
+    if denom == 0:
+        return 1.0
+    return float(1.0 - np.abs(g1 - g2).sum() / denom)

@@ -1,0 +1,97 @@
+"""Embedded-atom-method (EAM) potential for metals.
+
+The paper's Cu/Al/Mg datasets come from DFT; our pair-potential stand-ins
+miss the many-body character of metallic bonding.  This module adds a
+proper many-body labeler in the Finnis–Sinclair / Sutton–Chen family:
+
+    E = sum_i [ eps * sum_j (a/r_ij)^n / 2  -  eps * c * sqrt(rho_i) ],
+    rho_i = sum_j (a/r_ij)^m,
+
+whose embedding term F(rho) = -eps c sqrt(rho) makes the energy genuinely
+non-pairwise.  Forces are analytic (checked against central differences in
+the tests):
+
+    dE/dr_ij = eps * [ -n (a/r)^n / r ] (pair part)
+               + [F'(rho_i) + F'(rho_j)] * [-m (a/r)^m / r] (embedding part)
+
+Default parameters are the Sutton–Chen copper set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cell import Cell
+from .neighbor import pair_list
+from .potentials import Potential
+
+
+@dataclass(frozen=True)
+class SuttonChenParams:
+    """Sutton-Chen parameters; defaults are the Cu set (n=9, m=6)."""
+
+    epsilon: float = 1.2382e-2  # eV
+    a: float = 3.615  # Angstrom (lattice constant)
+    n: float = 9.0
+    m: float = 6.0
+    c: float = 39.432
+
+    @staticmethod
+    def copper() -> "SuttonChenParams":
+        return SuttonChenParams()
+
+    @staticmethod
+    def aluminium() -> "SuttonChenParams":
+        return SuttonChenParams(epsilon=3.3147e-2, a=4.05, n=7.0, m=6.0, c=16.399)
+
+
+class SuttonChenEAM(Potential):
+    """Many-body Sutton-Chen EAM with analytic forces.
+
+    The density rho_i couples all of atom i's neighbors, so unlike the
+    pair potentials the force on a bond depends on *both* endpoint
+    densities -- the many-body behaviour DeePMD's descriptor is built to
+    capture.
+    """
+
+    def __init__(self, params: SuttonChenParams | None = None, rcut: float = 6.0):
+        self.p = params or SuttonChenParams()
+        self.rcut = float(rcut)
+
+    def energy_forces(self, positions: np.ndarray, cell: Cell) -> tuple[float, np.ndarray]:
+        p = self.p
+        n_atoms = positions.shape[0]
+        forces = np.zeros((n_atoms, 3))
+        pl = pair_list(positions, cell, self.rcut)
+        if len(pl) == 0:
+            return 0.0, forces
+
+        ar = p.a / pl.r
+        pair_term = ar**p.n  # (a/r)^n per half-pair
+        dens_term = ar**p.m
+
+        # densities: each half-pair contributes to both endpoints
+        rho = np.zeros(n_atoms)
+        np.add.at(rho, pl.i, dens_term)
+        np.add.at(rho, pl.j, dens_term)
+        rho = np.maximum(rho, 1e-300)  # isolated atoms
+
+        e_pair = p.epsilon * float(pair_term.sum())  # sum over half pairs == eps/2 * full sum
+        e_embed = -p.epsilon * p.c * float(np.sqrt(rho).sum())
+        energy = e_pair + e_embed
+
+        # dF/drho = -eps c / (2 sqrt(rho))
+        dF = -p.epsilon * p.c / (2.0 * np.sqrt(rho))
+        # d(pair)/dr for the half-list (the full pair energy is
+        # eps * sum_halfpairs (a/r)^n counted once -> derivative direct)
+        dpair_dr = -p.n * p.epsilon * pair_term / pl.r
+        ddens_dr = -p.m * dens_term / pl.r
+        dembed_dr = (dF[pl.i] + dF[pl.j]) * ddens_dr
+        de_dr = dpair_dr + dembed_dr
+
+        fvec = (-de_dr / pl.r)[:, None] * pl.rij
+        np.add.at(forces, pl.j, fvec)
+        np.add.at(forces, pl.i, -fvec)
+        return energy, forces

@@ -1,0 +1,145 @@
+"""Crystal lattice builders for the eight paper systems.
+
+Each builder returns ``(positions (N,3), cell, species (N,) int array)``
+with species indices into the system's element list.  Supercell sizes are
+chosen by the callers in :mod:`repro.data.systems` to land near the paper's
+atom counts (Table 3: 32--108 atoms per snapshot).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cell import Cell
+
+
+def _supercell(
+    base_frac: np.ndarray,
+    base_species: np.ndarray,
+    a: np.ndarray,
+    reps: tuple[int, int, int],
+) -> tuple[np.ndarray, Cell, np.ndarray]:
+    """Tile a fractional-coordinate basis ``reps`` times along each axis of
+    the orthorhombic conventional cell with edge lengths ``a`` (3,)."""
+    nx, ny, nz = reps
+    shifts = np.stack(
+        np.meshgrid(np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij"),
+        axis=-1,
+    ).reshape(-1, 3)
+    frac = (base_frac[None, :, :] + shifts[:, None, :]).reshape(-1, 3)
+    lengths = np.asarray(a, dtype=np.float64) * np.array(reps, dtype=np.float64)
+    pos = frac * np.asarray(a, dtype=np.float64)
+    species = np.tile(base_species, len(shifts))
+    return pos, Cell(lengths), species
+
+
+def fcc(a: float, reps: tuple[int, int, int] = (3, 3, 3)) -> tuple[np.ndarray, Cell, np.ndarray]:
+    """Face-centred cubic (4 atoms per conventional cell).  Cu, Al."""
+    basis = np.array(
+        [[0.0, 0.0, 0.0], [0.5, 0.5, 0.0], [0.5, 0.0, 0.5], [0.0, 0.5, 0.5]]
+    )
+    return _supercell(basis, np.zeros(4, dtype=np.int64), np.full(3, a), reps)
+
+
+def bcc(a: float, reps: tuple[int, int, int] = (3, 3, 3)) -> tuple[np.ndarray, Cell, np.ndarray]:
+    """Body-centred cubic (2 atoms per conventional cell)."""
+    basis = np.array([[0.0, 0.0, 0.0], [0.5, 0.5, 0.5]])
+    return _supercell(basis, np.zeros(2, dtype=np.int64), np.full(3, a), reps)
+
+
+def hcp(a: float, c: float, reps: tuple[int, int, int] = (3, 3, 2)) -> tuple[np.ndarray, Cell, np.ndarray]:
+    """Hexagonal close packed in its orthorhombic representation
+    (4 atoms per ortho cell, edges a, a*sqrt(3), c).  Mg."""
+    basis = np.array(
+        [
+            [0.0, 0.0, 0.0],
+            [0.5, 0.5, 0.0],
+            [0.5, 5.0 / 6.0, 0.5],
+            [0.0, 1.0 / 3.0, 0.5],
+        ]
+    )
+    edges = np.array([a, a * np.sqrt(3.0), c])
+    return _supercell(basis, np.zeros(4, dtype=np.int64), edges, reps)
+
+
+def diamond(a: float, reps: tuple[int, int, int] = (2, 2, 2)) -> tuple[np.ndarray, Cell, np.ndarray]:
+    """Diamond cubic (8 atoms per conventional cell).  Si."""
+    fcc_basis = np.array(
+        [[0.0, 0.0, 0.0], [0.5, 0.5, 0.0], [0.5, 0.0, 0.5], [0.0, 0.5, 0.5]]
+    )
+    basis = np.concatenate([fcc_basis, fcc_basis + 0.25])
+    return _supercell(basis, np.zeros(8, dtype=np.int64), np.full(3, a), reps)
+
+
+def rocksalt(a: float, reps: tuple[int, int, int] = (2, 2, 2)) -> tuple[np.ndarray, Cell, np.ndarray]:
+    """Rocksalt AB (8 atoms per conventional cell: 4 A + 4 B).
+    NaCl (Na=0, Cl=1); also used as the CuO analog structure."""
+    a_sites = np.array(
+        [[0.0, 0.0, 0.0], [0.5, 0.5, 0.0], [0.5, 0.0, 0.5], [0.0, 0.5, 0.5]]
+    )
+    b_sites = a_sites + np.array([0.5, 0.0, 0.0])
+    basis = np.concatenate([a_sites, b_sites])
+    species = np.array([0, 0, 0, 0, 1, 1, 1, 1], dtype=np.int64)
+    return _supercell(basis, species, np.full(3, a), reps)
+
+
+def fluorite(a: float, reps: tuple[int, int, int] = (2, 2, 2)) -> tuple[np.ndarray, Cell, np.ndarray]:
+    """Fluorite AB2 (12 atoms per conventional cell: 4 A + 8 B).
+    HfO2 analog (Hf=0, O=1)."""
+    a_sites = np.array(
+        [[0.0, 0.0, 0.0], [0.5, 0.5, 0.0], [0.5, 0.0, 0.5], [0.0, 0.5, 0.5]]
+    )
+    b_sites = np.concatenate([a_sites + 0.25, a_sites + 0.75]) % 1.0
+    basis = np.concatenate([a_sites, b_sites])
+    species = np.array([0] * 4 + [1] * 8, dtype=np.int64)
+    return _supercell(basis, species, np.full(3, a), reps)
+
+
+def water_box(
+    n_molecules: int,
+    density_factor: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, Cell, np.ndarray, np.ndarray]:
+    """A box of rigid-geometry water molecules on a jittered cubic grid.
+
+    Returns ``(positions, cell, species, molecules)`` where species are
+    O=0, H=1 and ``molecules`` is an (n_molecules, 3) index table
+    (O, H1, H2) consumed by the flexible-water potential.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    # ~29.9 A^3 per molecule at 1 g/cm^3
+    vol_per_mol = 29.9 / density_factor
+    n_side = int(np.ceil(n_molecules ** (1.0 / 3.0)))
+    spacing = vol_per_mol ** (1.0 / 3.0)
+    box = n_side * spacing
+    r_oh, theta = 0.9572, np.deg2rad(104.52)
+
+    positions, species, molecules = [], [], []
+    count = 0
+    for ix in range(n_side):
+        for iy in range(n_side):
+            for iz in range(n_side):
+                if count >= n_molecules:
+                    break
+                o = (np.array([ix, iy, iz]) + 0.5) * spacing
+                o = o + rng.normal(scale=0.05, size=3)
+                # random molecular orientation
+                axis = rng.normal(size=3)
+                axis /= np.linalg.norm(axis)
+                perp = np.cross(axis, rng.normal(size=3))
+                perp /= np.linalg.norm(perp)
+                h1 = o + r_oh * (np.cos(theta / 2) * axis + np.sin(theta / 2) * perp)
+                h2 = o + r_oh * (np.cos(theta / 2) * axis - np.sin(theta / 2) * perp)
+                base = len(positions)
+                positions.extend([o, h1, h2])
+                species.extend([0, 1, 1])
+                molecules.append([base, base + 1, base + 2])
+                count += 1
+    pos = np.array(positions)
+    return (
+        np.mod(pos, box),
+        Cell(np.full(3, box)),
+        np.array(species, dtype=np.int64),
+        np.array(molecules, dtype=np.int64),
+    )

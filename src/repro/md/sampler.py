@@ -1,0 +1,100 @@
+"""Trajectory sampling: turn MD runs into labeled snapshot datasets.
+
+Mirrors the paper's data-generation protocol (Sec. 4, Table 3): for each
+system, run thermostatted MD at every listed temperature with a small time
+step, discard an equilibration prefix, and keep every ``stride``-th frame.
+Labels (total energy, per-atom forces) come from the classical potential --
+our stand-in for the ab-initio calculator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .cell import Cell
+from .integrator import LangevinIntegrator
+from .potentials import Potential
+
+
+@dataclass
+class Frame:
+    """A labeled configuration: positions + energy + forces (+ metadata)."""
+
+    positions: np.ndarray
+    energy: float
+    forces: np.ndarray
+    temperature: float
+
+
+@dataclass
+class Trajectory:
+    """All frames sampled for one system, plus the static description."""
+
+    cell: Cell
+    species: np.ndarray
+    frames: list[Frame] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def positions_array(self) -> np.ndarray:
+        return np.stack([f.positions for f in self.frames])
+
+    def energies_array(self) -> np.ndarray:
+        return np.array([f.energy for f in self.frames])
+
+    def forces_array(self) -> np.ndarray:
+        return np.stack([f.forces for f in self.frames])
+
+
+def sample_trajectory(
+    potential: Potential,
+    positions: np.ndarray,
+    cell: Cell,
+    species: np.ndarray,
+    masses: np.ndarray,
+    temperatures: Sequence[float],
+    n_frames_per_temperature: int,
+    timestep: float = 2.0,
+    stride: int = 5,
+    equilibration_steps: int = 50,
+    friction: float = 0.02,
+    seed: int = 0,
+) -> Trajectory:
+    """Generate a labeled trajectory across the given temperature ladder.
+
+    Each temperature contributes ``n_frames_per_temperature`` frames taken
+    every ``stride`` MD steps after ``equilibration_steps`` of thermalizing;
+    the final configuration of one temperature seeds the next, mimicking
+    the mixed-temperature sampling described in the paper.
+    """
+    rng = np.random.default_rng(seed)
+    traj = Trajectory(cell=cell, species=np.asarray(species, dtype=np.int64))
+    current = np.array(positions, dtype=np.float64)
+    for temp in temperatures:
+        integ = LangevinIntegrator(
+            potential,
+            masses,
+            cell,
+            timestep=timestep,
+            temperature=float(temp),
+            friction=friction,
+            rng=rng,
+        )
+        state = integ.initialize(current, temp=float(temp))
+        state = integ.run(state, equilibration_steps)
+        for _ in range(n_frames_per_temperature):
+            state = integ.run(state, stride)
+            traj.frames.append(
+                Frame(
+                    positions=np.array(state.positions),
+                    energy=float(state.potential_energy),
+                    forces=np.array(state.forces),
+                    temperature=float(temp),
+                )
+            )
+        current = state.positions
+    return traj

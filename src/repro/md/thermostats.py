@@ -1,0 +1,68 @@
+"""Additional thermostats: Berendsen and velocity rescale.
+
+The Langevin integrator is the default sampler, but thermostat choice
+affects the configuration distributions a dataset captures, so the MD
+substrate offers the standard alternatives.  Both plug into
+:class:`~repro.md.integrator.LangevinIntegrator` as drop-in O-step
+replacements via :class:`ThermostattedIntegrator`.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from .cell import KB, KE_CONV, Cell, temperature
+from .integrator import LangevinIntegrator, MDState
+from .potentials import Potential
+
+
+class ThermostattedIntegrator(LangevinIntegrator):
+    """Velocity-Verlet with a Berendsen or velocity-rescale thermostat.
+
+    * ``berendsen`` -- weak coupling: velocities scaled by
+      sqrt(1 + dt/tau (T0/T - 1)) each step; gentle, does not produce a
+      strict canonical ensemble but equilibrates smoothly.
+    * ``rescale``  -- hard isokinetic rescale to the target every
+      ``rescale_every`` steps.
+    """
+
+    def __init__(
+        self,
+        potential: Potential,
+        masses: np.ndarray,
+        cell: Cell,
+        timestep: float = 1.0,
+        temperature: float = 300.0,
+        mode: Literal["berendsen", "rescale"] = "berendsen",
+        tau_fs: float = 100.0,
+        rescale_every: int = 10,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(
+            potential, masses, cell, timestep=timestep,
+            temperature=temperature, friction=0.0, rng=rng,
+        )
+        if mode not in ("berendsen", "rescale"):
+            raise ValueError(f"unknown thermostat mode {mode!r}")
+        self.mode = mode
+        self.tau_fs = float(tau_fs)
+        self.rescale_every = int(rescale_every)
+
+    def _ou(self, state: MDState) -> None:  # replaces the Langevin O-step
+        t_now = temperature(state.velocities, self.masses)
+        if t_now <= 0:
+            return
+        if self.mode == "berendsen":
+            factor = np.sqrt(
+                max(1.0 + self.dt / self.tau_fs * (self.temp / t_now - 1.0), 0.0)
+            )
+            state.velocities *= factor
+        elif state.step % self.rescale_every == self.rescale_every - 1:
+            state.velocities *= np.sqrt(self.temp / t_now)
+
+
+def kinetic_target_ev(n_atoms: int, temp: float) -> float:
+    """Target kinetic energy (eV) for 3N degrees of freedom at ``temp``."""
+    return 1.5 * n_atoms * KB * temp

@@ -1,0 +1,34 @@
+"""repro.model -- the DeePMD network and its descriptor machinery."""
+
+from .config import DeePMDConfig
+from .environment import (
+    DescriptorBatch,
+    EnvStats,
+    compute_stats,
+    environment_fused,
+    environment_graph,
+    environment_np,
+    identity_stats,
+    make_batch,
+)
+from .ensemble import EnsemblePrediction, ModelEnsemble
+from .network import DeePMD, EnergyForces
+from .params import ParamEntry, ParamStore
+
+__all__ = [
+    "DeePMDConfig",
+    "DeePMD",
+    "EnergyForces",
+    "ModelEnsemble",
+    "EnsemblePrediction",
+    "DescriptorBatch",
+    "EnvStats",
+    "compute_stats",
+    "identity_stats",
+    "make_batch",
+    "environment_graph",
+    "environment_fused",
+    "environment_np",
+    "ParamStore",
+    "ParamEntry",
+]

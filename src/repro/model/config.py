@@ -1,0 +1,87 @@
+"""DeePMD model hyperparameters.
+
+Defaults reproduce the paper's Sec. 4 "Model parameters": embedding net
+[25, 25, 25] (symmetry order M = 25), descriptor truncation M< = 16
+(fitting input 25 * 16 = 400), fitting net [400, 50, 50, 50, 1], tanh
+activations.  ``scaled_down()`` provides the reduced network used by the
+fast experiment presets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class DeePMDConfig:
+    """Architecture + descriptor hyperparameters for :class:`DeePMD`."""
+
+    #: widths of the three embedding layers; the last is the symmetry order M.
+    embedding_widths: tuple[int, ...] = (25, 25, 25)
+    #: number of leading embedding columns kept in G< (the truncation M<).
+    m_less: int = 16
+    #: hidden widths of the fitting net (input is M * m_less, output 1).
+    fitting_widths: tuple[int, ...] = (50, 50, 50)
+    #: descriptor cutoff radius (Angstrom).
+    rcut: float = 5.0
+    #: inner smooth-switch radius; s(r) = 1/r below it.
+    rcut_smooth: float = 3.0
+    #: max neighbors kept per atom (Nm).
+    nmax: int = 24
+    #: feed the neighbor's species into the embedding net (input becomes
+    #: s(r) * [1, onehot(type)] instead of s(r) alone).  The paper's
+    #: network embeds the radial channel only; this option improves
+    #: multi-species systems (NaCl, CuO, HfO2) at a small parameter cost.
+    type_aware: bool = False
+
+    @property
+    def m(self) -> int:
+        """Symmetry order M (embedding output width)."""
+        return self.embedding_widths[-1]
+
+    @property
+    def descriptor_size(self) -> int:
+        """Flattened descriptor length M * M<."""
+        return self.m * self.m_less
+
+    def __post_init__(self):
+        if self.m_less > self.m:
+            raise ValueError("m_less (M<) cannot exceed the symmetry order M")
+        if not 0.0 < self.rcut_smooth < self.rcut:
+            raise ValueError("need 0 < rcut_smooth < rcut")
+        if len(self.embedding_widths) < 1 or len(self.fitting_widths) < 1:
+            raise ValueError("embedding and fitting nets need at least one layer")
+
+    def with_cutoff(self, rcut: float, rcut_smooth: float | None = None, nmax: int | None = None) -> "DeePMDConfig":
+        """Copy with a different descriptor cutoff (and optionally Nm)."""
+        return replace(
+            self,
+            rcut=rcut,
+            rcut_smooth=rcut_smooth if rcut_smooth is not None else 0.6 * rcut,
+            nmax=nmax if nmax is not None else self.nmax,
+        )
+
+    @staticmethod
+    def paper(rcut: float = 5.0, rcut_smooth: float | None = None, nmax: int = 24) -> "DeePMDConfig":
+        """The full-size paper network (~26.5k parameters)."""
+        return DeePMDConfig(
+            embedding_widths=(25, 25, 25),
+            m_less=16,
+            fitting_widths=(50, 50, 50),
+            rcut=rcut,
+            rcut_smooth=rcut_smooth if rcut_smooth is not None else 0.6 * rcut,
+            nmax=nmax,
+        )
+
+    @staticmethod
+    def scaled_down(rcut: float = 5.0, rcut_smooth: float | None = None, nmax: int = 20) -> "DeePMDConfig":
+        """A reduced network for minutes-scale CPU experiments (~3k params);
+        same topology, same residual structure, same descriptor algebra."""
+        return DeePMDConfig(
+            embedding_widths=(12, 12, 12),
+            m_less=8,
+            fitting_widths=(24, 24, 24),
+            rcut=rcut,
+            rcut_smooth=rcut_smooth if rcut_smooth is not None else 0.6 * rcut,
+            nmax=nmax,
+        )

@@ -1,0 +1,75 @@
+"""Model ensembles with force-deviation uncertainty.
+
+The online-learning workflow the paper motivates (Figure 1) is, in
+practice, the DP-GEN concurrent-learning loop: train an *ensemble* of
+models differing only in initialization, drive MD with one of them, and
+use the ensemble's **maximum atomic force deviation** as the uncertainty
+signal that decides which configurations need new reference labels.
+This module provides that ensemble.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .environment import DescriptorBatch
+from .network import DeePMD
+
+
+@dataclass
+class EnsemblePrediction:
+    """Mean predictions plus the per-frame uncertainty signal."""
+
+    energy: np.ndarray  # (B,) ensemble mean
+    forces: np.ndarray  # (B, N, 3) ensemble mean
+    energy_std: np.ndarray  # (B,)
+    #: max over atoms of the std (over models) of the force vector norm --
+    #: DP-GEN's "model deviation" selection criterion
+    max_force_dev: np.ndarray  # (B,)
+
+
+class ModelEnsemble:
+    """A committee of DeePMD models sharing architecture and data stats."""
+
+    def __init__(self, models: list[DeePMD]):
+        if not models:
+            raise ValueError("ensemble needs at least one model")
+        if len({m.num_params for m in models}) != 1:
+            raise ValueError("ensemble models must share one architecture")
+        self.models = list(models)
+
+    @classmethod
+    def for_dataset(cls, dataset, cfg, n_models: int = 4, seed: int = 0) -> "ModelEnsemble":
+        """Build ``n_models`` with different weight seeds (DP-GEN style)."""
+        return cls([DeePMD.for_dataset(dataset, cfg, seed=seed + k) for k in range(n_models)])
+
+    def __len__(self) -> int:
+        return len(self.models)
+
+    @property
+    def cfg(self):
+        return self.models[0].cfg
+
+    # ------------------------------------------------------------------
+    def predict(self, batch: DescriptorBatch, fused_env: bool = True) -> EnsemblePrediction:
+        energies, forces = [], []
+        for model in self.models:
+            out = model.predict(batch, fused_env=fused_env)
+            energies.append(out.energy)
+            forces.append(out.forces)
+        e = np.stack(energies)  # (M, B)
+        f = np.stack(forces)  # (M, B, N, 3)
+        force_dev = np.linalg.norm(f - f.mean(axis=0), axis=-1)  # (M, B, N)
+        per_atom_dev = np.sqrt(np.mean(force_dev**2, axis=0))  # (B, N)
+        return EnsemblePrediction(
+            energy=e.mean(axis=0),
+            forces=f.mean(axis=0),
+            energy_std=e.std(axis=0),
+            max_force_dev=per_atom_dev.max(axis=1),
+        )
+
+    def max_force_deviation(self, batch: DescriptorBatch) -> np.ndarray:
+        """Just the selection signal (B,)."""
+        return self.predict(batch).max_force_dev

@@ -1,0 +1,111 @@
+"""Parameter store: named arrays with a canonical flat ordering.
+
+The EKF optimizers view the network as one flat weight vector partitioned
+into blocks (the RLEKF gather-and-split strategy), so the parameter store
+keeps a deterministic layer order and provides flatten/unflatten for both
+values and gradients.  ``layer_sizes()`` feeds the block splitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ParamEntry:
+    name: str
+    shape: tuple[int, ...]
+    offset: int
+    size: int
+    #: index of the network layer this entry belongs to (W and b of the
+    #: same layer share it); blocks never split a W from its b.
+    layer: int
+
+
+class ParamStore:
+    """Ordered named parameters backed by one contiguous flat vector."""
+
+    def __init__(self):
+        self._entries: list[ParamEntry] = []
+        self._values: dict[str, np.ndarray] = {}
+        self._offset = 0
+
+    # ------------------------------------------------------------------
+    def add(self, name: str, value: np.ndarray, layer: int) -> None:
+        if name in self._values:
+            raise KeyError(f"duplicate parameter {name!r}")
+        value = np.asarray(value, dtype=np.float64)
+        self._entries.append(
+            ParamEntry(name, value.shape, self._offset, value.size, layer)
+        )
+        self._values[name] = value
+        self._offset += value.size
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._values[name]
+
+    def __setitem__(self, name: str, value: np.ndarray) -> None:
+        if name not in self._values:
+            raise KeyError(name)
+        if value.shape != self._values[name].shape:
+            raise ValueError(f"shape mismatch for {name!r}")
+        self._values[name] = np.asarray(value, dtype=np.float64)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def names(self) -> list[str]:
+        return [e.name for e in self._entries]
+
+    def entries(self) -> list[ParamEntry]:
+        return list(self._entries)
+
+    @property
+    def num_params(self) -> int:
+        return self._offset
+
+    # ------------------------------------------------------------------
+    def flatten(self) -> np.ndarray:
+        """Concatenate all parameters into one (num_params,) vector."""
+        out = np.empty(self.num_params)
+        for e in self._entries:
+            out[e.offset : e.offset + e.size] = self._values[e.name].ravel()
+        return out
+
+    def unflatten(self, vec: np.ndarray) -> None:
+        """Write a flat vector back into the named parameters."""
+        if vec.shape != (self.num_params,):
+            raise ValueError(f"expected ({self.num_params},), got {vec.shape}")
+        for e in self._entries:
+            self._values[e.name] = vec[e.offset : e.offset + e.size].reshape(e.shape).copy()
+
+    def flatten_grads(self, grads: dict[str, np.ndarray]) -> np.ndarray:
+        """Flatten a name->grad dict in canonical order (zeros if missing)."""
+        out = np.zeros(self.num_params)
+        for e in self._entries:
+            g = grads.get(e.name)
+            if g is not None:
+                out[e.offset : e.offset + e.size] = np.asarray(g).ravel()
+        return out
+
+    # ------------------------------------------------------------------
+    def layer_sizes(self) -> list[tuple[int, int]]:
+        """(layer_index, total_size) per layer in canonical order; the unit
+        the EKF block splitter gathers (a layer is never split from its
+        bias)."""
+        sizes: dict[int, int] = {}
+        order: list[int] = []
+        for e in self._entries:
+            if e.layer not in sizes:
+                sizes[e.layer] = 0
+                order.append(e.layer)
+            sizes[e.layer] += e.size
+        return [(layer, sizes[layer]) for layer in order]
+
+    def copy(self) -> "ParamStore":
+        ps = ParamStore()
+        for e in self._entries:
+            ps.add(e.name, self._values[e.name].copy(), e.layer)
+        return ps

@@ -1,0 +1,67 @@
+"""The DeePMD smooth switching function s(r).
+
+s(r) = 1/r                         for r < rcs
+     = (1/r) * p(u),  u=(r-rcs)/(rc-rcs)   for rcs <= r < rc
+     = 0                           for r >= rc
+
+with p(u) = u^3(-6u^2 + 15u - 10) + 1, which is 1 at u=0, 0 at u=1 and has
+zero slope at both ends, so s and ds/dr are continuous everywhere.
+
+Both an autograd-graph implementation (used when forces flow through the
+graph) and a raw-numpy implementation returning (s, ds/dr) (used by the
+hand-derived Opt1 kernels) are provided; the tests pin them against each
+other and against finite differences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, ops
+
+
+def poly_switch_np(u: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """p(u) and dp/du."""
+    p = u**3 * (-6.0 * u**2 + 15.0 * u - 10.0) + 1.0
+    dp = u**2 * (-30.0 * u**2 + 60.0 * u - 30.0)
+    return p, dp
+
+
+def smooth_np(r: np.ndarray, rcs: float, rc: float) -> tuple[np.ndarray, np.ndarray]:
+    """s(r) and ds/dr as raw numpy arrays."""
+    r = np.asarray(r, dtype=np.float64)
+    r_safe = np.where(r > 0, r, 1.0)
+    inv = 1.0 / r_safe
+    u = np.clip((r - rcs) / (rc - rcs), 0.0, 1.0)
+    p, dp = poly_switch_np(u)
+    inner = r < rcs
+    mid = (r >= rcs) & (r < rc)
+    s = np.where(inner, inv, np.where(mid, inv * p, 0.0))
+    ds_inner = -inv * inv
+    ds_mid = -inv * inv * p + inv * dp / (rc - rcs)
+    ds = np.where(inner, ds_inner, np.where(mid, ds_mid, 0.0))
+    return s, ds
+
+
+def smooth_graph(r: Tensor, rcs: float, rc: float, valid_mask: np.ndarray) -> Tensor:
+    """s(r) as an autograd graph.
+
+    ``valid_mask`` marks real (non-padded) neighbor slots; padded slots are
+    forced to exactly zero so they contribute nothing to the descriptor
+    regardless of the junk distances they carry.
+    """
+    rdata = r.data
+    inner = (rdata < rcs) & valid_mask
+    mid = (rdata >= rcs) & (rdata < rc) & valid_mask
+    # guard the 1/r against padded/out-of-range slots before dividing
+    r_safe = ops.where(inner | mid, r, ops.ones_like(r))
+    inv = ops.div(1.0, r_safe)
+    u = ops.div(ops.sub(r_safe, rcs), rc - rcs)
+    u3 = ops.mul(ops.mul(u, u), u)
+    p = ops.add(
+        ops.mul(u3, ops.add(ops.mul(u, ops.sub(ops.mul(u, -6.0), -15.0)), -10.0)),
+        1.0,
+    )
+    s_mid = ops.mul(inv, p)
+    zero = ops.zeros_like(r)
+    return ops.where(inner, inv, ops.where(mid, s_mid, zero))

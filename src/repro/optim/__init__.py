@@ -1,0 +1,28 @@
+"""repro.optim -- optimizers: Adam/SGD baselines and the EKF family."""
+
+from .checkpoint import load_checkpoint, save_checkpoint
+from .blocks import Block, block_shapes, p_memory_bytes, split_blocks, validate_blocks
+from .ekf import FEKF, NaiveEKF, RLEKF, UpdateStats
+from .first_order import SGD, Adam, ExponentialDecay, FirstOrderOptimizer, LossConfig
+from .kalman import KalmanConfig, KalmanState
+
+__all__ = [
+    "Block",
+    "split_blocks",
+    "block_shapes",
+    "validate_blocks",
+    "p_memory_bytes",
+    "KalmanConfig",
+    "KalmanState",
+    "FEKF",
+    "RLEKF",
+    "NaiveEKF",
+    "UpdateStats",
+    "Adam",
+    "SGD",
+    "FirstOrderOptimizer",
+    "ExponentialDecay",
+    "LossConfig",
+    "save_checkpoint",
+    "load_checkpoint",
+]

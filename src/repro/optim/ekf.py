@@ -1,0 +1,287 @@
+"""Extended-Kalman-Filter optimizers: FEKF (the paper), RLEKF, Naive-EKF.
+
+All three share the per-batch training protocol of the paper (Sec. 4
+"Model parameters"): each minibatch triggers **one** Kalman update driven
+by the total energy and **four** updates driven by the forces of disjoint
+atom groups, with the sign-alignment trick of Algorithm 1 lines 3-5 (flip
+the prediction wherever it exceeds the label so the Kalman step always
+moves predictions toward labels, and use the mean *absolute* error ABE as
+the innovation).
+
+They differ in how a multi-sample minibatch is digested:
+
+* :class:`FEKF` (funnel, "aggregation-then-computing"): per-sample
+  gradients and absolute errors are reduced *first*; a single Kalman
+  update per (energy / force-group) follows, with the increment scaled by
+  sqrt(batch size) (Eq. 2).  One shared P -- the memory and communication
+  win of Sec. 3.3.
+* :class:`NaiveEKF` (fusiform, "computing-then-aggregation"): every sample
+  runs its own full Kalman update against its own P replica; the weight
+  increments are averaged.  Memory grows as batch_size x |P| and every P
+  replica diverges, which is exactly why the paper rejects it.
+* :class:`RLEKF`: the instance-by-instance predecessor [23]; equivalent to
+  FEKF with batch size 1 and unit scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autograd import Tensor, grad, ops
+from ..model.environment import DescriptorBatch
+from ..model.network import DeePMD
+from .kalman import KalmanConfig, KalmanState
+
+
+@dataclass
+class UpdateStats:
+    """Per-batch diagnostics returned by ``step_batch``."""
+
+    energy_abe: float
+    force_abe: float
+    lam: float
+    updates: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "energy_abe": self.energy_abe,
+            "force_abe": self.force_abe,
+            "lambda": self.lam,
+            "updates": float(self.updates),
+        }
+
+
+def _signs(errors: np.ndarray) -> np.ndarray:
+    """+1 where the prediction is below the label, -1 otherwise
+    (Algorithm 1 lines 3-5: flip Y_hat when Y_hat >= Y)."""
+    return np.where(errors > 0.0, 1.0, -1.0)
+
+
+class FEKF:
+    """Fast Extended Kalman Filter (paper Algorithm 1, funnel dataflow).
+
+    Parameters
+    ----------
+    model:
+        The DeePMD model whose flat weight vector is filtered.
+    kalman_cfg:
+        Kalman hyperparameters; defaults follow Sec. 3.2 (lambda0=0.98,
+        nu=0.9987, blocksize 10240).  Use
+        ``KalmanConfig.for_batch_size(bs)`` for the large-batch guidance.
+    n_force_splits:
+        Number of force-group updates per batch (paper: 4).
+    fused_env:
+        Route the descriptor through the hand-derived Opt1 kernel.
+    """
+
+    name = "FEKF"
+
+    def __init__(
+        self,
+        model: DeePMD,
+        kalman_cfg: KalmanConfig | None = None,
+        n_force_splits: int = 4,
+        fused_env: bool = False,
+        reuse_force_graph: bool = True,
+        step_scale: float | None = None,
+        seed: int = 0,
+    ):
+        self.model = model
+        cfg = kalman_cfg or KalmanConfig()
+        self.kalman = KalmanState(model.num_params, model.params.layer_sizes(), cfg)
+        self.n_force_splits = int(n_force_splits)
+        self.fused_env = fused_env
+        #: when True, the n_force_splits group updates share one force
+        #: graph (H evaluated at the weights before the first group update)
+        #: instead of a fresh forward per group -- a large CPU saving with
+        #: negligible convergence impact (see the ablation bench).  Set
+        #: False for the paper-exact per-update protocol.
+        self.reuse_force_graph = reuse_force_graph
+        #: quasi-learning-rate factor of Eq. 2; None selects the paper's
+        #: sqrt(batch size).  The Figure 4 experiment sweeps this.
+        self.step_scale = step_scale
+        self._rng = np.random.default_rng(seed)
+        self.step_count = 0
+
+    # ------------------------------------------------------------------
+    # gradient building blocks
+    # ------------------------------------------------------------------
+    def _param_list(self, p: dict[str, Tensor]) -> list[Tensor]:
+        return [p[name] for name in self.model.params.names()]
+
+    def _energy_gradient(self, batch: DescriptorBatch) -> tuple[np.ndarray, float]:
+        """Reduced per-atom-energy gradient E(g) and ABE for the batch."""
+        model = self.model
+        p = model.param_tensors()
+        e = model.energy_graph(Tensor(batch.coords), batch, p=p, fused_env=self.fused_env)
+        n = batch.n_atoms
+        err = (batch.energies - e.data) / n
+        abe = float(np.mean(np.abs(err)))
+        weights = _signs(err) / (n * batch.batch_size)
+        scalar = ops.tsum(ops.mul(e, Tensor(weights)))
+        gs = grad(scalar, self._param_list(p))
+        g_flat = self.model.params.flatten_grads(
+            {name: g.data for name, g in zip(model.params.names(), gs)}
+        )
+        return g_flat, abe
+
+    def _force_graph(self, batch: DescriptorBatch):
+        """Build the differentiable force predictions F = -dE/dr."""
+        model = self.model
+        p = model.param_tensors()
+        coords = Tensor(batch.coords, requires_grad=True)
+        e = model.energy_graph(coords, batch, p=p, fused_env=self.fused_env)
+        (gc,) = grad(ops.tsum(e), [coords], create_graph=True)
+        return ops.neg(gc), p
+
+    def _force_group_gradient(
+        self,
+        f_pred: Tensor,
+        p: dict[str, Tensor],
+        batch: DescriptorBatch,
+        atom_group: np.ndarray,
+    ) -> tuple[np.ndarray, float]:
+        """Reduced gradient and ABE of one atom group's force components."""
+        sel = (slice(None), atom_group, slice(None))
+        f_group = f_pred[sel]
+        err = batch.forces[sel] - f_group.data
+        abe = float(np.mean(np.abs(err)))
+        weights = _signs(err) / err.size
+        scalar = ops.tsum(ops.mul(f_group, Tensor(weights)))
+        gs = grad(scalar, self._param_list(p))
+        g_flat = self.model.params.flatten_grads(
+            {name: g.data for name, g in zip(self.model.params.names(), gs)}
+        )
+        return g_flat, abe
+
+    def _force_gradient(
+        self, batch: DescriptorBatch, atom_group: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        """Fresh forward at the current weights + one group's gradient
+        (the paper-exact per-update protocol)."""
+        f_pred, p = self._force_graph(batch)
+        return self._force_group_gradient(f_pred, p, batch, atom_group)
+
+    def _force_groups(self, n_atoms: int) -> list[np.ndarray]:
+        perm = self._rng.permutation(n_atoms)
+        return [np.sort(g) for g in np.array_split(perm, self.n_force_splits) if g.size]
+
+    def _apply_increment(self, dw: np.ndarray) -> None:
+        self.model.params.unflatten(self.model.params.flatten() + dw)
+
+    # ------------------------------------------------------------------
+    def step_batch(self, batch: DescriptorBatch) -> dict[str, float]:
+        """One training step: 1 energy update + n_force_splits force updates."""
+        scale = (
+            float(np.sqrt(batch.batch_size))
+            if self.step_scale is None
+            else float(self.step_scale)
+        )
+        g, e_abe = self._energy_gradient(batch)
+        self._apply_increment(self.kalman.update(g, e_abe, scale))
+
+        f_abes = []
+        shared = self._force_graph(batch) if self.reuse_force_graph else None
+        for group in self._force_groups(batch.n_atoms):
+            if shared is not None:
+                g, f_abe = self._force_group_gradient(*shared, batch, group)
+            else:
+                g, f_abe = self._force_gradient(batch, group)
+            self._apply_increment(self.kalman.update(g, f_abe, scale))
+            f_abes.append(f_abe)
+        self.step_count += 1
+        return UpdateStats(
+            energy_abe=e_abe,
+            force_abe=float(np.mean(f_abes)) if f_abes else 0.0,
+            lam=self.kalman.lam,
+            updates=self.kalman.updates,
+        ).as_dict()
+
+
+class RLEKF(FEKF):
+    """Reorganized Layer-wise EKF [23]: instance-by-instance updating.
+
+    The single-sample degenerate case of the funnel dataflow (scale
+    sqrt(1) = 1); enforced batch size 1 reproduces its wall-clock profile.
+    """
+
+    name = "RLEKF"
+
+    def step_batch(self, batch: DescriptorBatch) -> dict[str, float]:
+        if batch.batch_size != 1:
+            raise ValueError(
+                "RLEKF updates instance-by-instance; feed batches of size 1 "
+                "(use FEKF for multi-sample minibatches)"
+            )
+        return super().step_batch(batch)
+
+
+class NaiveEKF(FEKF):
+    """Fusiform ("computing-then-aggregation") multi-sample EKF.
+
+    Statistically averages per-sample Kalman increments E(K * ABE), each
+    sample filtering against its own P replica (Table 2, row 3).  Kept as
+    the paper's strawman: its P memory scales with the batch size and its
+    replicas would all need to be communicated in data-parallel training.
+    """
+
+    name = "NaiveEKF"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._replicas: list[KalmanState] | None = None
+
+    def _ensure_replicas(self, batch_size: int) -> list[KalmanState]:
+        if self._replicas is None:
+            self._replicas = [self.kalman] + [
+                self.kalman.clone() for _ in range(batch_size - 1)
+            ]
+        if len(self._replicas) < batch_size:
+            self._replicas += [
+                self.kalman.clone() for _ in range(batch_size - len(self._replicas))
+            ]
+        return self._replicas[:batch_size]
+
+    def p_memory_bytes(self) -> int:
+        """Total P footprint across replicas (the Sec. 3.3 blow-up)."""
+        reps = self._replicas or [self.kalman]
+        return sum(state.p_memory_bytes() for state in reps)
+
+    def _single_frame(self, batch: DescriptorBatch, i: int) -> DescriptorBatch:
+        return batch.frame_slice(i, i + 1)
+
+    def step_batch(self, batch: DescriptorBatch) -> dict[str, float]:
+        bs = batch.batch_size
+        replicas = self._ensure_replicas(bs)
+        base = self.model.params.flatten()
+
+        # energy phase: per-sample KF update from the same starting weights
+        increments = np.zeros_like(base)
+        e_abes = []
+        for i in range(bs):
+            fb = self._single_frame(batch, i)
+            g, abe = self._energy_gradient(fb)
+            increments += replicas[i].update(g, abe, 1.0)
+            e_abes.append(abe)
+        self.model.params.unflatten(base + increments / bs)
+
+        # force phases
+        f_abes = []
+        for group in self._force_groups(batch.n_atoms):
+            base = self.model.params.flatten()
+            increments = np.zeros_like(base)
+            for i in range(bs):
+                fb = self._single_frame(batch, i)
+                g, abe = self._force_gradient(fb, group)
+                increments += replicas[i].update(g, abe, 1.0)
+                f_abes.append(abe)
+            self.model.params.unflatten(base + increments / bs)
+        self.step_count += 1
+        return UpdateStats(
+            energy_abe=float(np.mean(e_abes)),
+            force_abe=float(np.mean(f_abes)) if f_abes else 0.0,
+            lam=self.kalman.lam,
+            updates=self.kalman.updates,
+        ).as_dict()

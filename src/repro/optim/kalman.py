@@ -1,0 +1,219 @@
+"""The shared Kalman-filter core used by RLEKF, Naive-EKF and FEKF.
+
+Implements Algorithm 1 of the paper over a block-diagonal P:
+
+    A  = 1 / (lambda + g^T P g)
+    K  = A * P g
+    P <- (P - A * (Pg)(Pg)^T) / lambda,  symmetrized
+    lambda <- lambda * nu + 1 - nu
+    w <- w + scale * ABE * K
+
+Two P-update kernels are provided, mirroring the paper's Opt3 ("rewrite P
+updating" + "cache intermediate results"):
+
+* ``naive``  -- one dense temporary per algebraic step, exactly how a
+  framework-level implementation (``torch.matmul``/``torch.outer``)
+  executes it; every step records a kernel launch and allocates an
+  N_b x N_b temporary -- the memory behaviour Sec. 5.3 attributes to the
+  PyTorch implementation.
+* ``fused``  -- the handwritten-kernel analog: the cached P g product is
+  reused for K (and for A), the rank-1 downdate runs in-place on a single
+  triangle via BLAS ``dsyr`` (symmetry by construction, no explicit
+  symmetrization pass), and the 1/lambda rescaling is *folded into a
+  scalar* carried next to the block, so no full-matrix pass happens at
+  all.  One kernel launch, ~20x faster at the paper's blocksize, and
+  numerically identical to the naive kernel (pinned by the tests).
+
+Scale-stabilization (documented deviations, see DESIGN.md): the 1/lambda
+forgetting inflates P exponentially along directions the data never
+excites ("covariance wind-up").  At the paper's scale -- tens of thousands
+of updates per epoch over rich datasets -- excitation is persistent and
+this is harmless; at laptop-scale datasets it is not, so the core applies
+two standard RLS/EKF safeguards: a cap on the mean diagonal of each P
+block and a trust-region clip on each weight increment.  Both default on
+and can be disabled (``inf``) to recover the unguarded Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.linalg import blas as _blas
+
+from ..autograd.instrument import record_launch
+from .blocks import Block, split_blocks
+
+
+@dataclass
+class KalmanConfig:
+    """Hyperparameters of the Kalman core (paper Sec. 3.2 defaults)."""
+
+    lambda0: float = 0.98
+    nu: float = 0.9987
+    blocksize: int = 10240
+    #: per-block scalar gains (RLEKF layerwise behaviour) vs one coupled
+    #: global gain across blocks (the literal Algorithm 1 reading).
+    coupled_gain: bool = False
+    #: use the fused triangular-BLAS P update kernel (paper Opt3).
+    fused_update: bool = False
+    #: anti-windup bound on mean(diag(P_i)); ``inf`` disables.
+    p_trace_cap: float = 2.0
+    #: trust-region clip on |dw| per update; ``inf`` disables.
+    max_step_norm: float = 0.1
+
+    @staticmethod
+    def for_batch_size(batch_size: int, **overrides) -> "KalmanConfig":
+        """The paper's tuning guidance: lambda0=0.98/nu=0.9987 by default,
+        lambda0=0.90/nu=0.996 once the batch size exceeds 1024."""
+        if batch_size > 1024:
+            base = KalmanConfig(lambda0=0.90, nu=0.996)
+        else:
+            base = KalmanConfig()
+        for k, v in overrides.items():
+            setattr(base, k, v)
+        return base
+
+
+class KalmanState:
+    """Block-diagonal P, the memory factor lambda, and update kernels.
+
+    Internally each block is stored as a full square array.  The naive
+    backend keeps it dense-symmetric; the fused backend uses only the
+    upper triangle (Fortran order for BLAS) plus a folded scalar
+    ``p_scale`` absorbing the accumulated 1/lambda factors.
+    """
+
+    def __init__(self, num_params: int, layer_sizes: list[tuple[int, int]], cfg: KalmanConfig):
+        self.cfg = cfg
+        self.num_params = num_params
+        self.blocks: list[Block] = split_blocks(layer_sizes, cfg.blocksize)
+        total = sum(b.size for b in self.blocks)
+        if total != num_params:
+            raise ValueError(f"blocks cover {total} of {num_params} weights")
+        order = "F" if cfg.fused_update else "C"
+        self.p_mats: list[np.ndarray] = [
+            np.eye(b.size, order=order) for b in self.blocks
+        ]
+        self.p_scales: list[float] = [1.0 for _ in self.blocks]
+        self.lam = float(cfg.lambda0)
+        self.updates = 0
+
+    # ------------------------------------------------------------------
+    def p_memory_bytes(self) -> int:
+        return sum(p.nbytes for p in self.p_mats)
+
+    def advance_lambda(self) -> None:
+        self.lam = self.lam * self.cfg.nu + 1.0 - self.cfg.nu
+
+    def p_dense(self, i: int) -> np.ndarray:
+        """Reconstruct the full dense P block (test/diagnostic helper)."""
+        p = self.p_mats[i]
+        if self.cfg.fused_update:
+            full = np.triu(p) + np.triu(p, 1).T
+            return self.p_scales[i] * full
+        return p.copy()
+
+    # ------------------------------------------------------------------
+    # kernels: each returns (pg, cached quadratic form g.pg)
+    # ------------------------------------------------------------------
+    def _pg(self, i: int, g: np.ndarray) -> np.ndarray:
+        """P g for block i (the cached intermediate of the paper's Opt3)."""
+        if self.cfg.fused_update:
+            pg = _blas.dsymv(self.p_scales[i], self.p_mats[i], g, lower=0)
+            record_launch("p_symv_fused", pg.nbytes)
+        else:
+            pg = self.p_mats[i] @ g
+            record_launch("p_gemv", pg.nbytes)
+        return pg
+
+    def _downdate(self, i: int, pg: np.ndarray, a: float) -> None:
+        """P_i <- (P_i - a * pg pg^T) / lambda."""
+        if self.cfg.fused_update:
+            # single triangular rank-1 BLAS kernel; 1/lambda folded into
+            # the block scale so no full-matrix pass is needed.
+            c = self.p_scales[i]
+            self.p_mats[i] = _blas.dsyr(
+                -a / c, pg, a=self.p_mats[i], lower=0, overwrite_a=1
+            )
+            self.p_scales[i] = c / self.lam
+            record_launch("p_update_fused", self.p_mats[i].nbytes)
+        else:
+            p = self.p_mats[i]
+            k = a * pg
+            record_launch("k_scale", k.nbytes)
+            kkt = np.outer(k, k / a)  # the N_b x N_b temporary
+            record_launch("kkT_outer", kkt.nbytes)
+            p1 = p - kkt
+            record_launch("p_sub", p1.nbytes)
+            p1 = p1 / self.lam
+            record_launch("p_scale", p1.nbytes)
+            p1 = (p1 + p1.T) / 2.0
+            record_launch("p_symmetrize", p1.nbytes)
+            self.p_mats[i] = p1
+
+    # ------------------------------------------------------------------
+    def update(self, g_flat: np.ndarray, error: float, scale: float) -> np.ndarray:
+        """One Kalman update; returns the weight increment (flat vector).
+
+        ``error`` is the (sign-aligned) mean absolute error ABE, ``scale``
+        the sqrt(batch-size) quasi-learning-rate factor of Eq. 2.
+        """
+        if g_flat.shape != (self.num_params,):
+            raise ValueError(f"gradient shape {g_flat.shape} != ({self.num_params},)")
+        dw = np.zeros(self.num_params)
+
+        pgs = [self._pg(i, g_flat[blk.slice()]) for i, blk in enumerate(self.blocks)]
+        quads = [
+            float(g_flat[blk.slice()] @ pg) for blk, pg in zip(self.blocks, pgs)
+        ]
+
+        if self.cfg.coupled_gain:
+            a = 1.0 / (self.lam + sum(quads))
+            gains = [a] * len(self.blocks)
+        else:
+            gains = [1.0 / (self.lam + q) for q in quads]
+
+        for i, blk in enumerate(self.blocks):
+            self._downdate(i, pgs[i], gains[i])
+            dw[blk.slice()] = (scale * error * gains[i]) * pgs[i]
+
+        self._guard()
+        self.advance_lambda()
+        self.updates += 1
+        norm = float(np.linalg.norm(dw))
+        if norm > self.cfg.max_step_norm:
+            dw *= self.cfg.max_step_norm / norm
+        return dw
+
+    def _guard(self) -> None:
+        """Anti-windup: rescale any P block whose mean diagonal exceeds
+        the configured cap (no-op when the cap is inf)."""
+        cap = self.cfg.p_trace_cap
+        if not np.isfinite(cap):
+            return
+        for i, p in enumerate(self.p_mats):
+            mean_diag = self.p_scales[i] * np.trace(p) / p.shape[0]
+            if mean_diag > cap:
+                if self.cfg.fused_update:
+                    self.p_scales[i] *= cap / mean_diag
+                else:
+                    p *= cap / mean_diag
+
+    # ------------------------------------------------------------------
+    def clone(self) -> "KalmanState":
+        """Deep copy (used to fork per-sample P replicas in Naive-EKF)."""
+        other = KalmanState.__new__(KalmanState)
+        other.cfg = self.cfg
+        other.num_params = self.num_params
+        other.blocks = self.blocks
+        other.p_mats = [p.copy(order="K") for p in self.p_mats]
+        other.p_scales = list(self.p_scales)
+        other.lam = self.lam
+        other.updates = self.updates
+        return other
+
+    def checksum(self) -> float:
+        """Cheap fingerprint for replica-consistency assertions."""
+        total = sum(c * np.trace(p) for c, p in zip(self.p_scales, self.p_mats))
+        return float(total) + self.lam

@@ -1,0 +1,30 @@
+"""repro.parallel -- simulated multi-GPU data parallelism for FEKF."""
+
+from .comm import CommLedger, CostModel, SimCommunicator, allreduce_volume_bytes
+from .topology import (
+    ClusterSpec,
+    build_fat_tree,
+    cluster_for_gpus,
+    cost_model_for,
+    ring_hops,
+    ring_order,
+)
+from .model_parallel import ModelParallelKalman, shard_blocks
+from .trainer import DistributedFEKF, StepTiming
+
+__all__ = [
+    "SimCommunicator",
+    "CommLedger",
+    "CostModel",
+    "allreduce_volume_bytes",
+    "ClusterSpec",
+    "build_fat_tree",
+    "cluster_for_gpus",
+    "cost_model_for",
+    "ring_order",
+    "ring_hops",
+    "DistributedFEKF",
+    "StepTiming",
+    "ModelParallelKalman",
+    "shard_blocks",
+]

@@ -1,0 +1,23 @@
+"""repro.perf -- optimization presets, memory accounting, phase profiling."""
+
+from .memory import MB, MemoryReport, footprint_report, measured_update_peak, paper_layer_sizes
+from .presets import BASELINE, OPT1, OPT2, OPT3, PRESET_ORDER, PRESETS, Preset
+from .timer import PhaseProfile, UpdateProfile, profile_update
+
+__all__ = [
+    "Preset",
+    "PRESETS",
+    "PRESET_ORDER",
+    "BASELINE",
+    "OPT1",
+    "OPT2",
+    "OPT3",
+    "MemoryReport",
+    "footprint_report",
+    "measured_update_peak",
+    "paper_layer_sizes",
+    "MB",
+    "PhaseProfile",
+    "UpdateProfile",
+    "profile_update",
+]

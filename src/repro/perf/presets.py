@@ -1,0 +1,57 @@
+"""The step-by-step optimization presets of Figure 7.
+
+===========  ======================================================
+preset       enables
+===========  ======================================================
+baseline     eager primitives everywhere, framework-style P update
+opt1         + hand-derived descriptor/environment kernel
+             (``fused_env``, the paper's "substitute Autograd with
+             handwritten kernels")
+opt2         + fused elementwise layer kernels (the ``torch.compile``
+             analog)
+opt3         + fused P-update kernel with cached P g reuse
+===========  ======================================================
+
+``apply(preset)`` yields a context in which model calls pick up the layer
+fusion automatically; the boolean fields parameterize model/optimizer
+construction.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+
+from ..autograd import fused_kernels
+from ..optim.kalman import KalmanConfig
+
+
+@dataclass(frozen=True)
+class Preset:
+    """One optimization level."""
+
+    name: str
+    fused_env: bool
+    fused_layers: bool
+    fused_p_update: bool
+
+    @contextlib.contextmanager
+    def context(self):
+        """Activate the layer-fusion flag for the duration."""
+        with fused_kernels(self.fused_layers):
+            yield
+
+    def kalman_config(self, **overrides) -> KalmanConfig:
+        cfg = KalmanConfig(fused_update=self.fused_p_update)
+        for k, v in overrides.items():
+            setattr(cfg, k, v)
+        return cfg
+
+
+BASELINE = Preset("baseline", fused_env=False, fused_layers=False, fused_p_update=False)
+OPT1 = Preset("opt1", fused_env=True, fused_layers=False, fused_p_update=False)
+OPT2 = Preset("opt2", fused_env=True, fused_layers=True, fused_p_update=False)
+OPT3 = Preset("opt3", fused_env=True, fused_layers=True, fused_p_update=True)
+
+PRESETS: dict[str, Preset] = {p.name: p for p in (BASELINE, OPT1, OPT2, OPT3)}
+PRESET_ORDER = ["baseline", "opt1", "opt2", "opt3"]

@@ -1,0 +1,131 @@
+"""Iteration-phase timing and kernel counting for the Figure 7 experiments.
+
+``profile_update`` dissects one EKF update the way Figure 7(c) does:
+
+1. forward pass (predictions and errors),
+2. gradient acquisition (the backward pass(es)),
+3. the Kalman-filter calculation flow,
+
+and simultaneously counts kernel launches per phase for Figure 7(b),
+separately for the energy-driven and force-driven updates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autograd import KernelCounter, Tensor, grad, ops
+from ..model.environment import DescriptorBatch
+from ..model.network import DeePMD
+from ..optim.ekf import FEKF, _signs
+from .presets import Preset
+
+
+@dataclass
+class PhaseProfile:
+    """Per-phase seconds and kernel launches for one update flavour."""
+
+    forward_s: float
+    gradient_s: float
+    kalman_s: float
+    forward_kernels: int
+    gradient_kernels: int
+    kalman_kernels: int
+
+    @property
+    def total_s(self) -> float:
+        return self.forward_s + self.gradient_s + self.kalman_s
+
+    @property
+    def total_kernels(self) -> int:
+        return self.forward_kernels + self.gradient_kernels + self.kalman_kernels
+
+
+@dataclass
+class UpdateProfile:
+    """Energy-update and force-update profiles for one preset."""
+
+    preset: str
+    energy: PhaseProfile
+    force: PhaseProfile
+
+    def total_iteration_kernels(self, n_force_splits: int = 4) -> int:
+        """Paper convention: one energy update + four force updates."""
+        return self.energy.total_kernels + n_force_splits * self.force.total_kernels
+
+    def total_iteration_s(self, n_force_splits: int = 4) -> float:
+        return self.energy.total_s + n_force_splits * self.force.total_s
+
+
+def profile_update(
+    model: DeePMD, opt: FEKF, batch: DescriptorBatch, preset: Preset
+) -> UpdateProfile:
+    """Measure one energy-driven and one force-driven FEKF update under
+    the given optimization preset."""
+    n = batch.n_atoms
+    bs = batch.batch_size
+    with preset.context():
+        # ---------------- energy update ------------------------------
+        with KernelCounter() as kc_f:
+            t0 = time.perf_counter()
+            p = model.param_tensors()
+            e = model.energy_graph(
+                Tensor(batch.coords), batch, p=p, fused_env=preset.fused_env
+            )
+            err = (batch.energies - e.data) / n
+            abe = float(np.mean(np.abs(err)))
+            t_forward = time.perf_counter() - t0
+        with KernelCounter() as kc_g:
+            t0 = time.perf_counter()
+            weights = _signs(err) / (n * bs)
+            scalar = ops.tsum(ops.mul(e, Tensor(weights)))
+            gs = grad(scalar, [p[nm] for nm in model.params.names()])
+            g_flat = model.params.flatten_grads(
+                {nm: g.data for nm, g in zip(model.params.names(), gs)}
+            )
+            t_grad = time.perf_counter() - t0
+        with KernelCounter() as kc_k:
+            t0 = time.perf_counter()
+            opt.kalman.update(g_flat, abe, float(np.sqrt(bs)))
+            t_kalman = time.perf_counter() - t0
+        energy_profile = PhaseProfile(
+            t_forward, t_grad, t_kalman,
+            kc_f.total_launches, kc_g.total_launches, kc_k.total_launches,
+        )
+
+        # ---------------- force update -------------------------------
+        group = np.arange(n)[: max(n // opt.n_force_splits, 1)]
+        with KernelCounter() as kc_f:
+            t0 = time.perf_counter()
+            p = model.param_tensors()
+            coords = Tensor(batch.coords, requires_grad=True)
+            e = model.energy_graph(coords, batch, p=p, fused_env=preset.fused_env)
+            (gc,) = grad(ops.tsum(e), [coords], create_graph=True)
+            f_pred = ops.neg(gc)
+            sel = (slice(None), group, slice(None))
+            f_group = f_pred[sel]
+            err = batch.forces[sel] - f_group.data
+            abe = float(np.mean(np.abs(err)))
+            t_forward = time.perf_counter() - t0
+        with KernelCounter() as kc_g:
+            t0 = time.perf_counter()
+            weights = _signs(err) / err.size
+            scalar = ops.tsum(ops.mul(f_group, Tensor(weights)))
+            gs = grad(scalar, [p[nm] for nm in model.params.names()])
+            g_flat = model.params.flatten_grads(
+                {nm: g.data for nm, g in zip(model.params.names(), gs)}
+            )
+            t_grad = time.perf_counter() - t0
+        with KernelCounter() as kc_k:
+            t0 = time.perf_counter()
+            opt.kalman.update(g_flat, abe, float(np.sqrt(bs)))
+            t_kalman = time.perf_counter() - t0
+        force_profile = PhaseProfile(
+            t_forward, t_grad, t_kalman,
+            kc_f.total_launches, kc_g.total_launches, kc_k.total_launches,
+        )
+
+    return UpdateProfile(preset=preset.name, energy=energy_profile, force=force_profile)

@@ -1,0 +1,19 @@
+"""repro.train -- training loop, convergence targets, metrics."""
+
+from .active import ActiveLearner, ActiveLearningConfig, RoundStats
+from .metrics import epochs_to_error, read_history, summarize, write_history
+from .trainer import EpochRecord, TargetCriterion, Trainer, TrainResult
+
+__all__ = [
+    "Trainer",
+    "TrainResult",
+    "EpochRecord",
+    "TargetCriterion",
+    "ActiveLearner",
+    "ActiveLearningConfig",
+    "RoundStats",
+    "write_history",
+    "read_history",
+    "epochs_to_error",
+    "summarize",
+]

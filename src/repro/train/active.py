@@ -1,0 +1,214 @@
+"""Concurrent (active) learning: the DP-GEN-style loop the paper's
+"online learning" vision points at.
+
+Each round:
+
+1. **explore** -- drive MD with the ensemble's first model (the NNMD
+   surrogate) from the current pool of configurations, at the round's
+   temperature, collecting candidate frames;
+2. **select** -- score candidates by the ensemble's maximum atomic force
+   deviation and keep those inside the trust band
+   ``lo < dev < hi`` (below lo: already learned; above hi: the surrogate
+   is so wrong the trajectory itself is unreliable);
+3. **label** -- evaluate the selected frames with the reference potential
+   (the ab-initio stand-in);
+4. **train** -- fine-tune every ensemble member with its own persistent
+   FEKF filter on the accumulated labeled data.
+
+Minutes-scale training (the paper's contribution) is what makes running
+this loop dozens of times practical.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..md.cell import Cell
+from ..md.integrator import LangevinIntegrator
+from ..md.neighbor import neighbor_table
+from ..md.potentials import Potential
+from ..model.calculator import DeePMDCalculator
+from ..model.environment import DescriptorBatch
+from ..model.ensemble import ModelEnsemble
+from ..optim.ekf import FEKF
+from ..optim.kalman import KalmanConfig
+from .trainer import Trainer
+
+
+@dataclass
+class RoundStats:
+    """Diagnostics for one active-learning round."""
+
+    round_index: int
+    temperature: float
+    n_candidates: int
+    n_selected: int
+    mean_deviation: float
+    train_seconds: float
+    rmse_after: float
+
+
+@dataclass
+class ActiveLearningConfig:
+    """Knobs of the loop (DP-GEN-flavoured defaults)."""
+
+    #: trust band on the max force deviation (eV/A)
+    select_lo: float = 0.05
+    select_hi: float = 1.0
+    #: MD exploration per round
+    md_steps: int = 120
+    sample_every: int = 10
+    timestep_fs: float = 2.0
+    friction: float = 0.02
+    #: training per round
+    epochs_per_round: int = 3
+    batch_size: int = 4
+    max_new_frames: int = 16
+
+
+class ActiveLearner:
+    """Runs the explore/select/label/train loop."""
+
+    def __init__(
+        self,
+        ensemble: ModelEnsemble,
+        reference: Potential,
+        species: np.ndarray,
+        masses: np.ndarray,
+        cell: Cell,
+        cfg: ActiveLearningConfig | None = None,
+        kalman_cfg: KalmanConfig | None = None,
+        initial_data: Dataset | None = None,
+        seed: int = 0,
+    ):
+        self.ensemble = ensemble
+        self.reference = reference
+        self.species = np.asarray(species, dtype=np.int64)
+        self.masses = np.asarray(masses, dtype=np.float64)
+        self.cell = cell
+        self.cfg = cfg or ActiveLearningConfig()
+        self._rng = np.random.default_rng(seed)
+        kcfg = kalman_cfg or KalmanConfig(blocksize=2048, fused_update=True)
+        #: one persistent filter per committee member
+        self.optimizers = [
+            FEKF(m, KalmanConfig(**vars(kcfg)), fused_env=True, seed=seed + k)
+            for k, m in enumerate(ensemble.models)
+        ]
+        #: DP-GEN warm start: without initial labeled data the untrained
+        #: surrogate drives exploration into unphysical regions and the
+        #: loop bootstraps on garbage labels
+        self.labeled: Dataset | None = initial_data
+        self.history: list[RoundStats] = []
+        if initial_data is not None:
+            self._train_round(seed_offset=-1)
+
+    def _train_round(self, seed_offset: int) -> None:
+        for model, opt in zip(self.ensemble.models, self.optimizers):
+            Trainer(
+                model, opt, self.labeled, None,
+                batch_size=self.cfg.batch_size,
+                seed=seed_offset + 1,
+            ).run(max_epochs=self.cfg.epochs_per_round)
+
+    # ------------------------------------------------------------------
+    def _explore(self, start: np.ndarray, temperature: float) -> np.ndarray:
+        """MD with the surrogate; returns candidate frames (C, N, 3)."""
+        calc = DeePMDCalculator(self.ensemble.models[0], self.species)
+        integ = LangevinIntegrator(
+            calc, self.masses, self.cell,
+            timestep=self.cfg.timestep_fs, temperature=temperature,
+            friction=self.cfg.friction, rng=self._rng,
+        )
+        state = integ.initialize(start, temp=temperature)
+        frames = []
+        for _ in range(self.cfg.md_steps // self.cfg.sample_every):
+            state = integ.run(state, self.cfg.sample_every)
+            frames.append(state.positions.copy())
+        return np.stack(frames)
+
+    def _batch_for(self, frames: np.ndarray) -> DescriptorBatch:
+        cfg = self.ensemble.cfg
+        n = frames.shape[1]
+        idx = np.zeros((len(frames), n, cfg.nmax), dtype=np.int64)
+        shift = np.zeros((len(frames), n, cfg.nmax, 3))
+        mask = np.zeros((len(frames), n, cfg.nmax), dtype=bool)
+        for t, pos in enumerate(frames):
+            table = neighbor_table(pos, self.cell, cfg.rcut, cfg.nmax)
+            idx[t], shift[t], mask[t] = table.idx, table.shift, table.mask
+        frame_offset = (np.arange(len(frames)) * n)[:, None, None]
+        return DescriptorBatch(
+            coords=frames, idx_flat=idx + frame_offset, shift=shift,
+            mask=mask, species=self.species,
+        )
+
+    def _select(self, frames: np.ndarray) -> tuple[np.ndarray, float]:
+        devs = self.ensemble.max_force_deviation(self._batch_for(frames))
+        keep = (devs > self.cfg.select_lo) & (devs < self.cfg.select_hi)
+        chosen = np.where(keep)[0]
+        if len(chosen) > self.cfg.max_new_frames:
+            order = np.argsort(-devs[chosen])
+            chosen = chosen[order[: self.cfg.max_new_frames]]
+        return frames[chosen], float(devs.mean())
+
+    def _label(self, frames: np.ndarray, temperature: float) -> Dataset:
+        energies = np.empty(len(frames))
+        forces = np.empty_like(frames)
+        for t, pos in enumerate(frames):
+            energies[t], forces[t] = self.reference.energy_forces(pos, self.cell)
+        return Dataset(
+            name="active",
+            positions=frames,
+            energies=energies,
+            forces=forces,
+            species=self.species,
+            cell=self.cell,
+            temperatures=np.full(len(frames), temperature),
+        )
+
+    def _accumulate(self, new: Dataset) -> None:
+        if self.labeled is None:
+            self.labeled = new
+            return
+        old = self.labeled
+        self.labeled = Dataset(
+            name="active",
+            positions=np.concatenate([old.positions, new.positions]),
+            energies=np.concatenate([old.energies, new.energies]),
+            forces=np.concatenate([old.forces, new.forces]),
+            species=old.species,
+            cell=old.cell,
+            temperatures=np.concatenate([old.temperatures, new.temperatures]),
+        )
+
+    # ------------------------------------------------------------------
+    def run_round(self, start: np.ndarray, temperature: float) -> RoundStats:
+        """One explore/select/label/train round starting from ``start``."""
+        candidates = self._explore(start, temperature)
+        selected, mean_dev = self._select(candidates)
+        t0 = time.perf_counter()
+        if len(selected):
+            self._accumulate(self._label(selected, temperature))
+        if self.labeled is not None and self.labeled.n_frames >= self.cfg.batch_size:
+            self._train_round(seed_offset=len(self.history))
+        train_seconds = time.perf_counter() - t0
+        rmse = (
+            self.ensemble.models[0]
+            .evaluate_rmse(self.labeled, max_frames=16)["total_rmse"]
+            if self.labeled is not None
+            else float("nan")
+        )
+        stats = RoundStats(
+            round_index=len(self.history) + 1,
+            temperature=float(temperature),
+            n_candidates=len(candidates),
+            n_selected=len(selected),
+            mean_deviation=mean_dev,
+            train_seconds=train_seconds,
+            rmse_after=rmse,
+        )
+        self.history.append(stats)
+        return stats

@@ -1,0 +1,88 @@
+"""Training-metrics utilities: curve export and run summaries.
+
+The paper's artifact writes per-epoch ``epoch_train.dat`` files that its
+evaluation scripts post-process (Appendix A.4); these helpers provide the
+same workflow: dump a :class:`~repro.train.trainer.TrainResult` history to
+a dat/csv file, read it back, and compute the epochs-to-error queries the
+appendix performs with awk.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from .trainer import EpochRecord, TrainResult
+
+_COLUMNS = (
+    "epoch",
+    "train_energy_rmse",
+    "train_force_rmse",
+    "test_energy_rmse",
+    "test_force_rmse",
+    "wall_time",
+    "train_time",
+)
+
+
+def write_history(result: TrainResult, path: str) -> None:
+    """Write the per-epoch history as a whitespace dat file (paper's
+    ``epoch_train.dat`` convention, with a ``#`` header)."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write("# " + " ".join(_COLUMNS) + "\n")
+        for r in result.history:
+            fh.write(
+                f"{r.epoch:.4f} {r.train_energy_rmse:.8f} {r.train_force_rmse:.8f} "
+                f"{r.test_energy_rmse:.8f} {r.test_force_rmse:.8f} "
+                f"{r.wall_time:.4f} {r.train_time:.4f}\n"
+            )
+
+
+def read_history(path: str) -> TrainResult:
+    """Read a file written by :func:`write_history`."""
+    data = np.loadtxt(path, comments="#", ndmin=2)
+    result = TrainResult()
+    for row in data:
+        result.history.append(
+            EpochRecord(
+                epoch=float(row[0]),
+                train_energy_rmse=float(row[1]),
+                train_force_rmse=float(row[2]),
+                test_energy_rmse=float(row[3]),
+                test_force_rmse=float(row[4]),
+                wall_time=float(row[5]),
+                train_time=float(row[6]),
+            )
+        )
+    return result
+
+
+def epochs_to_error(
+    result: TrainResult, target: float, metric: str = "energy", split: str = "train"
+) -> Optional[float]:
+    """First epoch at which the RMSE drops to ``target`` (the appendix's
+    ``process.py epoch_train.dat <rmse>`` query); None if never reached."""
+    key = f"{split}_{metric}_rmse"
+    for rec in result.history:
+        if getattr(rec, key) <= target:
+            return rec.epoch
+    return None
+
+
+def summarize(result: TrainResult) -> dict[str, float]:
+    """Headline numbers of a run (best/final RMSE, times)."""
+    best = min(result.history, key=lambda r: r.train_total)
+    final = result.history[-1]
+    return {
+        "epochs": final.epoch,
+        "best_epoch": best.epoch,
+        "best_train_total": best.train_total,
+        "best_test_total": best.test_total,
+        "final_train_total": final.train_total,
+        "generalization_gap": abs(best.test_total - best.train_total),
+        "train_seconds": result.total_train_time,
+        "wall_seconds": result.total_wall_time,
+    }

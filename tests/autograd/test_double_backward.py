@@ -1,0 +1,116 @@
+"""Second- (and third-) order derivative correctness."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, grad, ops
+
+rng = np.random.default_rng(7)
+
+
+def _second_order_numeric(f, x0, eps=1e-5):
+    """Numeric gradient of z(x) = g(x)^T c where g = df/dx."""
+    n = x0.size
+    out = np.zeros(n)
+    for i in range(n):
+        xp = x0.copy()
+        xp[i] += eps
+        xm = x0.copy()
+        xm[i] -= eps
+        out[i] = (f(xp) - f(xm)) / (2 * eps)
+    return out
+
+
+class TestGradOfGrad:
+    @pytest.mark.parametrize(
+        "fn,npfn",
+        [
+            (lambda t: ops.tanh(t), np.tanh),
+            (lambda t: ops.exp(t), np.exp),
+            (lambda t: ops.sqrt(t), np.sqrt),
+            (lambda t: ops.power(t, 3.0), lambda a: a**3),
+            (lambda t: ops.log(t), np.log),
+        ],
+    )
+    def test_elementwise_second_order(self, fn, npfn):
+        x0 = np.abs(rng.normal(size=4)) + 0.5
+        c = rng.normal(size=4)
+
+        x = Tensor(x0, requires_grad=True)
+        y = ops.tsum(fn(x))
+        (g,) = grad(y, [x], create_graph=True)
+        z = ops.tsum(ops.mul(g, Tensor(c)))
+        (gg,) = grad(z, [x])
+
+        def zfun(xv):
+            eps = 1e-6
+            gnum = np.array(
+                [
+                    (npfn(xv + eps * np.eye(4)[i]).sum() - npfn(xv - eps * np.eye(4)[i]).sum())
+                    / (2 * eps)
+                    for i in range(4)
+                ]
+            )
+            return float(gnum @ c)
+
+        num = _second_order_numeric(zfun, x0)
+        assert np.allclose(gg.data, num, atol=1e-4, rtol=1e-3)
+
+    def test_matmul_second_order(self):
+        a0 = rng.normal(size=(2, 3))
+        b0 = rng.normal(size=(3, 2))
+        a = Tensor(a0, requires_grad=True)
+        b = Tensor(b0, requires_grad=True)
+        y = ops.tsum(ops.tanh(ops.matmul(a, b)))
+        (ga,) = grad(y, [a], create_graph=True)
+        z = ops.tsum(ops.mul(ga, ga))
+        (gb,) = grad(z, [b])
+
+        def zfun(bv):
+            eps = 1e-6
+            g = np.zeros_like(a0)
+            for i in range(a0.shape[0]):
+                for j in range(a0.shape[1]):
+                    ap = a0.copy(); ap[i, j] += eps
+                    am = a0.copy(); am[i, j] -= eps
+                    g[i, j] = (np.tanh(ap @ bv).sum() - np.tanh(am @ bv).sum()) / (2 * eps)
+            return float((g * g).sum())
+
+        num = np.zeros_like(b0)
+        eps = 1e-5
+        for i in range(b0.shape[0]):
+            for j in range(b0.shape[1]):
+                bp = b0.copy(); bp[i, j] += eps
+                bm = b0.copy(); bm[i, j] -= eps
+                num[i, j] = (zfun(bp) - zfun(bm)) / (2 * eps)
+        assert np.allclose(gb.data, num, atol=1e-3, rtol=1e-2)
+
+    def test_gather_scatter_second_order(self):
+        idx = np.array([0, 2, 1, 0])
+        x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        y = ops.tsum(ops.power(ops.index(x, idx), 3.0))
+        (g,) = grad(y, [x], create_graph=True)
+        (gg,) = grad(ops.tsum(g), [x])
+        # y = 2 x0^3 + x1^3 + x2^3 -> sum(g) = 6x0^2+3x1^2+3x2^2
+        assert np.allclose(gg.data, [12.0, 12.0, 18.0])
+
+    def test_third_order(self):
+        x = Tensor(np.array([0.7]), requires_grad=True)
+        y = ops.power(x, 5.0).sum()
+        (g1,) = grad(y, [x], create_graph=True)
+        (g2,) = grad(g1.sum(), [x], create_graph=True)
+        (g3,) = grad(g2.sum(), [x])
+        assert g3.item() == pytest.approx(60.0 * 0.7**2)
+
+    def test_where_second_order_routes(self):
+        mask = np.array([True, False])
+        x = Tensor(np.array([0.5, 0.5]), requires_grad=True)
+        y = ops.tsum(ops.where(mask, ops.power(x, 3.0), ops.power(x, 2.0)))
+        (g,) = grad(y, [x], create_graph=True)
+        (gg,) = grad(ops.tsum(g), [x])
+        assert np.allclose(gg.data, [6 * 0.5, 2.0])
+
+    def test_create_graph_false_grads_are_constants(self):
+        x = Tensor(np.array([0.5]), requires_grad=True)
+        (g,) = grad(ops.tanh(x).sum(), [x], create_graph=False)
+        assert not g.requires_grad

@@ -1,0 +1,102 @@
+"""Edge cases: negative axes, broadcast masks, degenerate shapes."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients, grad, ops
+
+rng = np.random.default_rng(9)
+
+
+class TestNegativeAxes:
+    def test_concat_negative_axis(self):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(2, 2))
+        out = ops.concat([Tensor(a), Tensor(b)], axis=-1)
+        assert np.allclose(out.data, np.concatenate([a, b], axis=-1))
+
+    def test_concat_negative_axis_gradcheck(self):
+        check_gradients(
+            lambda a, b: ops.tsum(ops.concat([a, b], axis=-1) ** 2),
+            [rng.normal(size=(2, 3)), rng.normal(size=(2, 2))],
+        )
+
+    def test_sum_multiple_negative_axes(self):
+        x = Tensor(rng.normal(size=(2, 3, 4)))
+        out = ops.tsum(x, axis=(-1, -2))
+        assert np.allclose(out.data, x.data.sum(axis=(1, 2)))
+
+
+class TestBroadcastMasks:
+    def test_where_with_broadcast_condition(self):
+        cond = np.array([[True], [False]])  # (2,1) against (2,3)
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(np.zeros((2, 3)))
+        out = ops.where(cond, a, b)
+        (g,) = grad(ops.tsum(out), [a])
+        assert np.allclose(g.data[0], 1.0)
+        assert np.allclose(g.data[1], 0.0)
+
+    def test_where_scalar_branches(self):
+        cond = np.array([True, False, True])
+        out = ops.where(cond, Tensor(np.ones(3)), 5.0)
+        assert np.allclose(out.data, [1.0, 5.0, 1.0])
+
+
+class TestDegenerateShapes:
+    def test_zero_dim_tensor_arithmetic(self):
+        x = Tensor(np.array(2.0), requires_grad=True)
+        y = (x * 3.0 + 1.0).sum()
+        (g,) = grad(y, [x])
+        assert g.item() == pytest.approx(3.0)
+
+    def test_empty_tensor_sum(self):
+        x = Tensor(np.zeros((0, 3)))
+        assert ops.tsum(x).item() == 0.0
+
+    def test_single_element_batch_matmul(self):
+        a = Tensor(rng.normal(size=(1, 1, 1)), requires_grad=True)
+        b = Tensor(rng.normal(size=(1, 1, 1)), requires_grad=True)
+        out = ops.matmul(a, b)
+        (ga,) = grad(ops.tsum(out), [a])
+        assert ga.shape == (1, 1, 1)
+
+    def test_reshape_to_scalar_shape(self):
+        x = Tensor(np.array([3.5]), requires_grad=True)
+        y = ops.reshape(x, ())
+        (g,) = grad(y, [x])
+        assert g.shape == (1,)
+
+    def test_gather_empty_index(self):
+        x = Tensor(np.arange(3.0), requires_grad=True)
+        out = ops.index(x, np.array([], dtype=np.int64))
+        assert out.shape == (0,)
+        (g,) = grad(ops.tsum(out), [x])
+        assert np.allclose(g.data, 0.0)
+
+
+class TestGraphHygiene:
+    def test_backward_twice_same_graph(self):
+        """Our engine keeps buffers; two backward calls accumulate."""
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 2.0).sum()
+        y.backward()
+        y.backward()
+        assert np.allclose(x.grad.data, 4.0)
+
+    def test_grads_are_fresh_tensors(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        (g1,) = grad((x * 2.0).sum(), [x])
+        (g2,) = grad((x * 2.0).sum(), [x])
+        g1.data[:] = 99.0
+        assert np.allclose(g2.data, 2.0)
+
+    def test_mutating_leaf_between_forwards(self):
+        """Fresh Tensors see updated parameter values (the optimizer
+        pattern: params mutate, param_tensors() re-wraps)."""
+        arr = np.ones(2)
+        t1 = Tensor(arr, requires_grad=True)
+        y1 = ops.tsum(ops.mul(t1, 3.0)).item()
+        arr *= 2.0  # external update
+        t2 = Tensor(arr, requires_grad=True)
+        y2 = ops.tsum(ops.mul(t2, 3.0)).item()
+        assert y2 == pytest.approx(2 * y1)

@@ -1,0 +1,97 @@
+"""Fused kernels: value/gradient equivalence with eager, kernel savings."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import KernelCounter, Tensor, fused_kernels, grad, ops
+from repro.autograd import fuse
+
+rng = np.random.default_rng(3)
+
+
+def _layer_inputs(batch_shape=(5,), n_in=4, n_out=4):
+    x = rng.normal(size=(*batch_shape, n_in))
+    w = rng.normal(size=(n_in, n_out)) * 0.4
+    b = rng.normal(size=(n_out,)) * 0.1
+    return x, w, b
+
+
+PAIRS = [
+    (fuse.linear_eager, fuse.linear_fused),
+    (fuse.linear_tanh_eager, fuse.linear_tanh_fused),
+    (fuse.residual_linear_tanh_eager, fuse.residual_linear_tanh_fused),
+]
+
+
+@pytest.mark.parametrize("eager,fused", PAIRS)
+class TestEquivalence:
+    def test_forward_values_match(self, eager, fused):
+        x, w, b = _layer_inputs()
+        out_e = eager(Tensor(x), Tensor(w), Tensor(b))
+        out_f = fused(Tensor(x), Tensor(w), Tensor(b))
+        assert np.allclose(out_e.data, out_f.data, atol=1e-14)
+
+    def test_first_order_grads_match(self, eager, fused):
+        x, w, b = _layer_inputs()
+        grads = []
+        for fn in (eager, fused):
+            xt = Tensor(x, requires_grad=True)
+            wt = Tensor(w, requires_grad=True)
+            bt = Tensor(b, requires_grad=True)
+            y = ops.tsum(ops.power(fn(xt, wt, bt), 2.0))
+            grads.append([g.data for g in grad(y, [xt, wt, bt])])
+        for ge, gf in zip(*grads):
+            assert np.allclose(ge, gf, atol=1e-12)
+
+    def test_second_order_grads_match(self, eager, fused):
+        x, w, b = _layer_inputs(batch_shape=(3,))
+        results = []
+        for fn in (eager, fused):
+            xt = Tensor(x, requires_grad=True)
+            wt = Tensor(w, requires_grad=True)
+            bt = Tensor(b, requires_grad=True)
+            y = ops.tsum(fn(xt, wt, bt))
+            (gx,) = grad(y, [xt], create_graph=True)
+            z = ops.tsum(ops.mul(gx, gx))
+            results.append([g.data for g in grad(z, [wt, bt])])
+        for ge, gf in zip(*results):
+            assert np.allclose(ge, gf, atol=1e-10)
+
+    def test_batched_3d_input(self, eager, fused):
+        x, w, b = _layer_inputs(batch_shape=(2, 3))
+        out_e = eager(Tensor(x), Tensor(w), Tensor(b))
+        out_f = fused(Tensor(x), Tensor(w), Tensor(b))
+        assert np.allclose(out_e.data, out_f.data)
+
+
+class TestDispatch:
+    def test_config_flag_selects_fused(self):
+        x, w, b = _layer_inputs()
+        with fused_kernels(True), KernelCounter() as kc:
+            fuse.linear_tanh(Tensor(x), Tensor(w), Tensor(b))
+        assert kc.launches["linear_tanh_fused"] == 1
+
+    def test_config_flag_default_eager(self):
+        x, w, b = _layer_inputs()
+        with KernelCounter() as kc:
+            fuse.linear_tanh(Tensor(x), Tensor(w), Tensor(b))
+        assert kc.launches["linear_tanh_fused"] == 0
+        assert kc.launches["matmul"] == 1
+
+    def test_fused_reduces_forward_launches(self):
+        x, w, b = _layer_inputs()
+        with KernelCounter() as eager_kc:
+            fuse.residual_linear_tanh_eager(Tensor(x), Tensor(w), Tensor(b))
+        with KernelCounter() as fused_kc:
+            fuse.residual_linear_tanh_fused(Tensor(x), Tensor(w), Tensor(b))
+        assert fused_kc.total_launches < eager_kc.total_launches
+
+    def test_fused_backward_single_launch_without_create_graph(self):
+        x, w, b = _layer_inputs()
+        xt = Tensor(x, requires_grad=True)
+        wt = Tensor(w, requires_grad=True)
+        bt = Tensor(b, requires_grad=True)
+        y = ops.tsum(fuse.linear_tanh_fused(xt, wt, bt))
+        with KernelCounter() as kc:
+            grad(y, [xt, wt, bt])
+        assert kc.launches["linear_tanh_bwd_fused"] == 1

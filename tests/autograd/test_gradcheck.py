@@ -1,0 +1,44 @@
+"""The gradcheck utility itself must catch wrong gradients."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients, make_op, numerical_grad, ops
+
+
+def _broken_square(a: Tensor) -> Tensor:
+    """x^2 with a deliberately wrong backward (factor 3 instead of 2)."""
+    out = a.data**2
+
+    def backward(g):
+        return (ops.mul(g, ops.mul(a, 3.0)),)
+
+    return make_op(out, (a,), backward, "broken_square")
+
+
+class TestGradcheck:
+    def test_accepts_correct_gradients(self):
+        check_gradients(lambda a: ops.tsum(ops.power(a, 2.0)), [np.array([1.0, -2.0])])
+
+    def test_rejects_wrong_gradients(self):
+        with pytest.raises(AssertionError, match="gradient mismatch"):
+            check_gradients(
+                lambda a: ops.tsum(_broken_square(a)), [np.array([1.0, -2.0])]
+            )
+
+    def test_reports_offending_input_index(self):
+        with pytest.raises(AssertionError, match="input 1"):
+            check_gradients(
+                lambda a, b: ops.tsum(ops.add(a, _broken_square(b))),
+                [np.array([1.0]), np.array([2.0])],
+            )
+
+    def test_numerical_grad_matches_analytic_form(self):
+        x = np.array([0.3, 1.7])
+        num = numerical_grad(lambda a: ops.tsum(ops.power(a, 3.0)), [x])
+        assert np.allclose(num, 3 * x**2, atol=1e-5)
+
+    def test_numerical_grad_wrt_second_input(self):
+        a, b = np.array([1.0]), np.array([2.0])
+        num = numerical_grad(lambda x, y: ops.tsum(ops.mul(x, y)), [a, b], wrt=1)
+        assert num[0] == pytest.approx(1.0)

@@ -1,0 +1,59 @@
+"""Kernel-launch instrumentation semantics."""
+
+import numpy as np
+
+from repro.autograd import KernelCounter, Tensor, record_launch, ops
+
+
+class TestKernelCounter:
+    def test_counts_primitive_ops(self):
+        x = Tensor(np.ones(4))
+        with KernelCounter() as kc:
+            ops.add(x, x)
+            ops.mul(x, x)
+            ops.mul(x, x)
+        assert kc.launches["add"] == 1
+        assert kc.launches["mul"] == 2
+        assert kc.total_launches == 3
+
+    def test_records_bytes(self):
+        x = Tensor(np.ones(100))
+        with KernelCounter() as kc:
+            ops.add(x, x)
+        assert kc.total_bytes == 800
+
+    def test_nested_counters_both_record(self):
+        x = Tensor(np.ones(2))
+        with KernelCounter() as outer:
+            ops.add(x, x)
+            with KernelCounter() as inner:
+                ops.add(x, x)
+        assert outer.total_launches == 2
+        assert inner.total_launches == 1
+
+    def test_no_counter_is_noop(self):
+        record_launch("orphan", 8)  # must not raise
+
+    def test_reset(self):
+        x = Tensor(np.ones(2))
+        with KernelCounter() as kc:
+            ops.add(x, x)
+            kc.reset()
+            ops.add(x, x)
+        assert kc.total_launches == 1
+
+    def test_breakdown_sorted(self):
+        x = Tensor(np.ones(2))
+        with KernelCounter() as kc:
+            for _ in range(3):
+                ops.mul(x, x)
+            ops.add(x, x)
+        top = kc.breakdown(2)
+        assert top[0] == ("mul", 3)
+
+    def test_backward_ops_counted(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 2.0).sum()
+        with KernelCounter() as kc:
+            y.backward()
+        assert kc.total_launches > 0

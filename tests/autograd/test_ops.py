@@ -1,0 +1,228 @@
+"""Gradient checks and semantics for every autograd primitive."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients, grad, ops
+
+rng = np.random.default_rng(42)
+
+
+def _r(*shape, scale=1.0):
+    return rng.normal(size=shape) * scale
+
+
+class TestElementwise:
+    def test_add_gradcheck(self):
+        check_gradients(lambda a, b: ops.tsum(ops.add(a, b)), [_r(3, 4), _r(3, 4)])
+
+    def test_add_broadcast_gradcheck(self):
+        check_gradients(lambda a, b: ops.tsum(ops.add(a, b)), [_r(3, 4), _r(4)])
+
+    def test_add_scalar_operand(self):
+        x = Tensor(_r(5), requires_grad=True)
+        y = ops.tsum(ops.add(x, 3.0))
+        (g,) = grad(y, [x])
+        assert np.allclose(g.data, 1.0)
+
+    def test_sub_gradcheck(self):
+        check_gradients(lambda a, b: ops.tsum(ops.sub(a, b)), [_r(2, 3), _r(2, 3)])
+
+    def test_mul_gradcheck(self):
+        check_gradients(lambda a, b: ops.tsum(ops.mul(a, b)), [_r(3, 3), _r(3, 3)])
+
+    def test_mul_broadcast_column(self):
+        check_gradients(lambda a, b: ops.tsum(ops.mul(a, b)), [_r(3, 4), _r(3, 1)])
+
+    def test_div_gradcheck(self):
+        check_gradients(
+            lambda a, b: ops.tsum(ops.div(a, b)),
+            [_r(3, 3), np.abs(_r(3, 3)) + 1.0],
+        )
+
+    def test_neg_gradcheck(self):
+        check_gradients(lambda a: ops.tsum(ops.neg(a)), [_r(4)])
+
+    def test_pow_gradcheck(self):
+        check_gradients(lambda a: ops.tsum(ops.power(a, 3.0)), [np.abs(_r(4)) + 0.5])
+
+    def test_pow_value(self):
+        x = Tensor(np.array([2.0]))
+        assert ops.power(x, 2.0).item() == pytest.approx(4.0)
+
+    def test_exp_gradcheck(self):
+        check_gradients(lambda a: ops.tsum(ops.exp(a)), [_r(4, 2, scale=0.5)])
+
+    def test_log_gradcheck(self):
+        check_gradients(lambda a: ops.tsum(ops.log(a)), [np.abs(_r(5)) + 1.0])
+
+    def test_tanh_gradcheck(self):
+        check_gradients(lambda a: ops.tsum(ops.tanh(a)), [_r(3, 3)])
+
+    def test_sqrt_gradcheck(self):
+        check_gradients(lambda a: ops.tsum(ops.sqrt(a)), [np.abs(_r(5)) + 0.5])
+
+    def test_abs_gradcheck_away_from_zero(self):
+        check_gradients(lambda a: ops.tsum(ops.absolute(a)), [_r(6) + 3.0])
+
+    def test_abs_subgradient_at_zero_is_zero(self):
+        x = Tensor(np.zeros(3), requires_grad=True)
+        (g,) = grad(ops.tsum(ops.absolute(x)), [x])
+        assert np.allclose(g.data, 0.0)
+
+    def test_maximum_gradcheck(self):
+        a = _r(5)
+        b = a + np.where(rng.random(5) > 0.5, 1.0, -1.0)  # no ties
+        check_gradients(lambda x, y: ops.tsum(ops.maximum(x, y)), [a, b])
+
+    def test_where_selects_and_routes_gradient(self):
+        mask = np.array([True, False, True])
+        a = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        b = Tensor(np.array([10.0, 20.0, 30.0]), requires_grad=True)
+        out = ops.where(mask, a, b)
+        assert np.allclose(out.data, [1.0, 20.0, 3.0])
+        ga, gb = grad(ops.tsum(out), [a, b])
+        assert np.allclose(ga.data, [1.0, 0.0, 1.0])
+        assert np.allclose(gb.data, [0.0, 1.0, 0.0])
+
+
+class TestReductionsAndShapes:
+    def test_sum_all_gradcheck(self):
+        check_gradients(lambda a: ops.tsum(a), [_r(2, 3, 4)])
+
+    def test_sum_axis_gradcheck(self):
+        check_gradients(lambda a: ops.tsum(ops.tsum(a, axis=1) ** 2), [_r(3, 4)])
+
+    def test_sum_keepdims_shape(self):
+        x = Tensor(_r(3, 4))
+        assert ops.tsum(x, axis=1, keepdims=True).shape == (3, 1)
+
+    def test_sum_negative_axis(self):
+        x = Tensor(_r(2, 5))
+        assert np.allclose(ops.tsum(x, axis=-1).data, x.data.sum(axis=-1))
+
+    def test_mean_matches_numpy(self):
+        x = _r(4, 5)
+        assert np.allclose(ops.tmean(Tensor(x), axis=0).data, x.mean(axis=0))
+
+    def test_mean_gradcheck(self):
+        check_gradients(lambda a: ops.tsum(ops.tmean(a, axis=1) ** 2), [_r(3, 4)])
+
+    def test_broadcast_to_gradcheck(self):
+        check_gradients(
+            lambda a: ops.tsum(ops.broadcast_to(a, (4, 3)) ** 2), [_r(3)]
+        )
+
+    def test_reshape_roundtrip_gradcheck(self):
+        check_gradients(
+            lambda a: ops.tsum(ops.reshape(a, (6,)) ** 2), [_r(2, 3)]
+        )
+
+    def test_transpose_gradcheck(self):
+        check_gradients(
+            lambda a: ops.tsum(ops.transpose(a, (1, 0)) ** 2), [_r(2, 4)]
+        )
+
+    def test_transpose_default_reverses(self):
+        x = Tensor(_r(2, 3, 4))
+        assert ops.transpose(x).shape == (4, 3, 2)
+
+    def test_swapaxes(self):
+        x = Tensor(_r(2, 3, 4))
+        assert ops.swapaxes(x, -1, -2).shape == (2, 4, 3)
+
+    def test_concat_gradcheck(self):
+        check_gradients(
+            lambda a, b: ops.tsum(ops.concat([a, b], axis=1) ** 2),
+            [_r(2, 3), _r(2, 2)],
+        )
+
+    def test_concat_values(self):
+        a, b = _r(2, 2), _r(2, 3)
+        out = ops.concat([Tensor(a), Tensor(b)], axis=1)
+        assert np.allclose(out.data, np.concatenate([a, b], axis=1))
+
+
+class TestIndexing:
+    def test_gather_gradcheck(self):
+        idx = np.array([0, 2, 1, 2])
+        check_gradients(lambda a: ops.tsum(ops.index(a, idx) ** 2), [_r(3)])
+
+    def test_gather_repeated_indices_accumulate(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        y = ops.tsum(ops.index(x, np.array([0, 0, 1])))
+        (g,) = grad(y, [x])
+        assert np.allclose(g.data, [2.0, 1.0])
+
+    def test_slice_gradcheck(self):
+        check_gradients(
+            lambda a: ops.tsum(ops.index(a, (slice(None), slice(0, 2))) ** 2),
+            [_r(3, 4)],
+        )
+
+    def test_getitem_sugar(self):
+        x = Tensor(_r(4, 5), requires_grad=True)
+        y = x[1:3, ::2]
+        assert y.shape == (2, 3)
+
+    def test_scatter_add_gradcheck(self):
+        idx = np.array([0, 1, 0])
+        check_gradients(
+            lambda v: ops.tsum(ops.index_add((2,), idx, v) ** 2), [_r(3)]
+        )
+
+    def test_scatter_add_values(self):
+        out = ops.index_add((3,), np.array([0, 0, 2]), Tensor(np.array([1.0, 2.0, 5.0])))
+        assert np.allclose(out.data, [3.0, 0.0, 5.0])
+
+    def test_multidim_integer_gather(self):
+        x = Tensor(_r(6, 3), requires_grad=True)
+        idx = np.array([[0, 5], [2, 2]])
+        y = ops.index(x, idx)
+        assert y.shape == (2, 2, 3)
+        (g,) = grad(ops.tsum(y), [x])
+        assert g.data[2].sum() == pytest.approx(6.0)  # row 2 gathered twice
+
+
+class TestMatmul:
+    def test_matmul_gradcheck(self):
+        check_gradients(lambda a, b: ops.tsum(ops.matmul(a, b)), [_r(3, 4), _r(4, 2)])
+
+    def test_batched_matmul_gradcheck(self):
+        check_gradients(
+            lambda a, b: ops.tsum(ops.matmul(a, b)), [_r(2, 3, 4), _r(2, 4, 2)]
+        )
+
+    def test_broadcast_batched_matmul_gradcheck(self):
+        check_gradients(
+            lambda a, b: ops.tsum(ops.matmul(a, b)), [_r(2, 3, 4), _r(4, 2)]
+        )
+
+    def test_matmul_rejects_vectors(self):
+        with pytest.raises(ValueError):
+            ops.matmul(Tensor(_r(3)), Tensor(_r(3, 2)))
+
+    def test_matmul_values(self):
+        a, b = _r(3, 4), _r(4, 5)
+        assert np.allclose(ops.matmul(Tensor(a), Tensor(b)).data, a @ b)
+
+
+class TestOperatorSugar:
+    def test_arith_chain(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        y = ((x * 2.0 + 1.0) / 3.0 - 0.5) ** 2.0
+        assert y.shape == (2,)
+        y.sum().backward()
+        assert x.grad is not None
+
+    def test_rsub_rdiv(self):
+        x = Tensor(np.array([2.0]))
+        assert (1.0 - x).item() == pytest.approx(-1.0)
+        assert (1.0 / x).item() == pytest.approx(0.5)
+
+    def test_methods(self):
+        x = Tensor(np.array([[0.5, -0.5]]))
+        assert x.tanh().shape == (1, 2)
+        assert x.abs().data.min() == pytest.approx(0.5)
+        assert x.reshape(2).shape == (2,)
+        assert x.mean().item() == pytest.approx(0.0)

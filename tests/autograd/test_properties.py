@@ -1,0 +1,97 @@
+"""Property-based tests of autograd algebra (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd import Tensor, grad, ops
+
+floats = st.floats(-5.0, 5.0, allow_nan=False, allow_infinity=False)
+
+
+def arrays(max_side=4, max_dims=3):
+    return hnp.arrays(
+        np.float64,
+        hnp.array_shapes(max_dims=max_dims, max_side=max_side),
+        elements=floats,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays())
+def test_sum_equals_numpy(a):
+    assert np.allclose(ops.tsum(Tensor(a)).data, a.sum())
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(), arrays())
+def test_add_commutes_when_broadcastable(a, b):
+    try:
+        expect = a + b
+    except ValueError:
+        return
+    ab = ops.add(Tensor(a), Tensor(b)).data
+    ba = ops.add(Tensor(b), Tensor(a)).data
+    assert np.array_equal(ab, expect) and np.array_equal(ab, ba)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays())
+def test_linearity_of_gradient(a):
+    """d(sum(c*x))/dx == c everywhere, for any shape."""
+    x = Tensor(a, requires_grad=True)
+    (g,) = grad(ops.tsum(ops.mul(x, 2.5)), [x])
+    assert np.allclose(g.data, 2.5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(max_dims=2))
+def test_reshape_transpose_roundtrip_gradient_is_identity(a):
+    x = Tensor(a, requires_grad=True)
+    y = ops.transpose(ops.transpose(x))
+    (g,) = grad(ops.tsum(y), [x])
+    assert np.allclose(g.data, 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(max_dims=2), st.integers(0, 1))
+def test_sum_axis_then_sum_equals_total(a, axis):
+    if a.ndim < 2:
+        return
+    partial = ops.tsum(ops.tsum(Tensor(a), axis=axis)).item()
+    assert np.isclose(partial, a.sum())
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(max_dims=1), st.data())
+def test_gather_then_scatter_preserves_mass(a, data):
+    n = a.shape[0]
+    idx = np.array(
+        data.draw(st.lists(st.integers(0, n - 1), min_size=1, max_size=6))
+    )
+    gathered = ops.index(Tensor(a), idx)
+    back = ops.index_add((n,), idx, gathered)
+    assert np.isclose(back.data.sum(), a[idx].sum())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    hnp.arrays(np.float64, (3, 4), elements=floats),
+    hnp.arrays(np.float64, (4, 2), elements=floats),
+)
+def test_matmul_gradient_shapes(a, b):
+    at = Tensor(a, requires_grad=True)
+    bt = Tensor(b, requires_grad=True)
+    ga, gb = grad(ops.tsum(ops.matmul(at, bt)), [at, bt])
+    assert ga.shape == a.shape and gb.shape == b.shape
+    # analytic: dsum(AB)/dA = ones @ B^T
+    assert np.allclose(ga.data, np.ones((3, 2)) @ b.T)
+
+
+@settings(max_examples=30, deadline=None)
+@given(hnp.arrays(np.float64, (5,), elements=st.floats(0.1, 3.0)))
+def test_chain_rule_log_exp_identity(a):
+    """grad of sum(log(exp(x))) is exactly one."""
+    x = Tensor(a, requires_grad=True)
+    (g,) = grad(ops.tsum(ops.log(ops.exp(x))), [x])
+    assert np.allclose(g.data, 1.0, atol=1e-10)

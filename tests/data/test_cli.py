@@ -1,0 +1,29 @@
+"""python -m repro.data dataset-generation CLI."""
+
+import numpy as np
+
+from repro.data import load_dataset
+from repro.data.__main__ import main
+
+
+class TestDataCLI:
+    def test_generates_and_saves(self, tmp_path, capsys):
+        out = str(tmp_path / "al.npz")
+        assert main(["Al", "--frames", "2", "--size", "tiny", "--out", out]) == 0
+        assert "Saving npy file done" in capsys.readouterr().out
+        ds = load_dataset(out)
+        assert ds.name == "Al" and ds.n_frames == 8  # 2 x 4 temperatures
+
+    def test_neighbors_flag(self, tmp_path, capsys):
+        out = str(tmp_path / "cu.npz")
+        assert main(
+            ["Cu", "--frames", "1", "--size", "tiny", "--out", out, "--neighbors"]
+        ) == 0
+        ds = load_dataset(out)
+        assert ds._neighbors is not None
+
+    def test_seed_reproducible(self, tmp_path):
+        a, b = str(tmp_path / "a.npz"), str(tmp_path / "b.npz")
+        main(["Mg", "--frames", "1", "--size", "tiny", "--seed", "5", "--out", a])
+        main(["Mg", "--frames", "1", "--size", "tiny", "--seed", "5", "--out", b])
+        assert np.array_equal(load_dataset(a).positions, load_dataset(b).positions)

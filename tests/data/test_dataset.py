@@ -1,0 +1,106 @@
+"""Dataset container: validation, splitting, neighbor caching, stats."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+from repro.md import Cell
+
+
+def _toy(f=6, n=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(
+        name="toy",
+        positions=rng.uniform(0, 8, size=(f, n, 3)),
+        energies=rng.normal(size=f),
+        forces=rng.normal(size=(f, n, 3)),
+        species=np.zeros(n, dtype=np.int64),
+        cell=Cell([8.0, 8.0, 8.0]),
+    )
+
+
+class TestValidation:
+    def test_shape_mismatch_energy(self):
+        ds = _toy()
+        with pytest.raises(ValueError):
+            Dataset("x", ds.positions, ds.energies[:-1], ds.forces, ds.species, ds.cell)
+
+    def test_shape_mismatch_forces(self):
+        ds = _toy()
+        with pytest.raises(ValueError):
+            Dataset("x", ds.positions, ds.energies, ds.forces[:, :-1], ds.species, ds.cell)
+
+    def test_shape_mismatch_species(self):
+        ds = _toy()
+        with pytest.raises(ValueError):
+            Dataset("x", ds.positions, ds.energies, ds.forces, ds.species[:-1], ds.cell)
+
+    def test_basic_properties(self):
+        ds = _toy(f=5, n=3)
+        assert ds.n_frames == 5 and ds.n_atoms == 3 and len(ds) == 5
+        assert ds.n_species == 1
+
+
+class TestSubsetSplit:
+    def test_subset_selects_frames(self):
+        ds = _toy()
+        sub = ds.subset(np.array([1, 3]))
+        assert sub.n_frames == 2
+        assert np.array_equal(sub.positions[0], ds.positions[1])
+        assert np.array_equal(sub.energies, ds.energies[[1, 3]])
+
+    def test_split_partitions(self):
+        ds = _toy(f=10)
+        tr, te = ds.split(0.7, seed=1)
+        assert tr.n_frames == 7 and te.n_frames == 3
+        together = np.concatenate([tr.energies, te.energies])
+        assert sorted(together.tolist()) == sorted(ds.energies.tolist())
+
+    def test_split_deterministic(self):
+        ds = _toy(f=10)
+        a, _ = ds.split(0.5, seed=3)
+        b, _ = ds.split(0.5, seed=3)
+        assert np.array_equal(a.energies, b.energies)
+
+    def test_split_seed_changes_partition(self):
+        ds = _toy(f=10)
+        a, _ = ds.split(0.5, seed=1)
+        b, _ = ds.split(0.5, seed=2)
+        assert not np.array_equal(a.energies, b.energies)
+
+    def test_subset_carries_neighbors(self):
+        ds = _toy()
+        ds.ensure_neighbors(3.0, 6)
+        sub = ds.subset(np.array([0, 2]))
+        assert sub._neighbors is not None
+        assert sub._neighbors.idx.shape[0] == 2
+
+
+class TestNeighborsCache:
+    def test_cache_hit_same_params(self):
+        ds = _toy()
+        nb1 = ds.ensure_neighbors(3.0, 6)
+        nb2 = ds.ensure_neighbors(3.0, 6)
+        assert nb1 is nb2
+
+    def test_cache_miss_on_different_cutoff(self):
+        ds = _toy()
+        nb1 = ds.ensure_neighbors(3.0, 6)
+        nb2 = ds.ensure_neighbors(2.0, 6)
+        assert nb1 is not nb2 and nb2.rcut == 2.0
+
+    def test_neighbor_shapes(self):
+        ds = _toy(f=4, n=5)
+        nb = ds.ensure_neighbors(3.0, 7)
+        assert nb.idx.shape == (4, 5, 7)
+        assert nb.shift.shape == (4, 5, 7, 3)
+        assert nb.mask.shape == (4, 5, 7)
+        assert nb.nmax == 7
+
+
+class TestStats:
+    def test_energy_per_atom_stats(self):
+        ds = _toy(f=8, n=4)
+        mean, std = ds.energy_per_atom_stats()
+        assert mean == pytest.approx((ds.energies / 4).mean())
+        assert std == pytest.approx((ds.energies / 4).std())

@@ -1,0 +1,73 @@
+"""Batch loader: coverage, determinism, drop semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import BatchLoader, Dataset
+from repro.md import Cell
+
+
+def _ds(f):
+    return Dataset(
+        name="t",
+        positions=np.zeros((f, 2, 3)),
+        energies=np.arange(f, dtype=np.float64),
+        forces=np.zeros((f, 2, 3)),
+        species=np.zeros(2, dtype=np.int64),
+        cell=Cell([5.0] * 3),
+    )
+
+
+class TestLoader:
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            BatchLoader(_ds(4), 0)
+
+    def test_len_drop_last(self):
+        assert len(BatchLoader(_ds(10), 3)) == 3
+        assert len(BatchLoader(_ds(10), 3, drop_last=False)) == 4
+
+    def test_epoch_covers_all_frames_without_drop(self):
+        loader = BatchLoader(_ds(10), 3, drop_last=False)
+        seen = np.concatenate(list(loader.epoch(0)))
+        assert sorted(seen.tolist()) == list(range(10))
+
+    def test_drop_last_drops_remainder(self):
+        loader = BatchLoader(_ds(10), 3)
+        batches = list(loader.epoch(0))
+        assert len(batches) == 3 and all(len(b) == 3 for b in batches)
+
+    def test_same_epoch_index_same_order(self):
+        loader = BatchLoader(_ds(12), 4, seed=5)
+        a = np.concatenate(list(loader.epoch(2)))
+        b = np.concatenate(list(loader.epoch(2)))
+        assert np.array_equal(a, b)
+
+    def test_different_epochs_shuffle_differently(self):
+        loader = BatchLoader(_ds(12), 4, seed=5)
+        a = np.concatenate(list(loader.epoch(0)))
+        b = np.concatenate(list(loader.epoch(1)))
+        assert not np.array_equal(a, b)
+
+    def test_no_shuffle_preserves_order(self):
+        loader = BatchLoader(_ds(9), 3, shuffle=False)
+        seen = np.concatenate(list(loader.epoch(0)))
+        assert np.array_equal(seen, np.arange(9))
+
+    def test_iter_advances_epochs(self):
+        loader = BatchLoader(_ds(8), 2, seed=0)
+        a = np.concatenate(list(iter(loader)))
+        b = np.concatenate(list(iter(loader)))
+        assert not np.array_equal(a, b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 30), st.integers(1, 8), st.integers(0, 100))
+def test_loader_invariants(frames, bs, seed):
+    loader = BatchLoader(_ds(frames), bs, seed=seed, drop_last=False)
+    batches = list(loader.epoch(0))
+    seen = np.concatenate(batches) if batches else np.array([])
+    assert len(set(seen.tolist())) == len(seen)  # no duplicates
+    assert sorted(seen.tolist()) == list(range(frames))  # full coverage
+    assert all(len(b) <= bs for b in batches)

@@ -1,0 +1,78 @@
+"""Property-based invariants of the data pipeline (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import Dataset
+from repro.md import Cell
+from repro.model import DeePMDConfig, make_batch
+
+CFG = DeePMDConfig(
+    embedding_widths=(4, 4, 4), m_less=2, fitting_widths=(6, 6, 6),
+    rcut=3.0, rcut_smooth=1.8, nmax=8,
+)
+
+
+def _dataset(n_frames, n_atoms, seed):
+    rng = np.random.default_rng(seed)
+    return Dataset(
+        name="p",
+        positions=rng.uniform(0, 7, size=(n_frames, n_atoms, 3)),
+        energies=rng.normal(size=n_frames),
+        forces=rng.normal(size=(n_frames, n_atoms, 3)),
+        species=np.zeros(n_atoms, dtype=np.int64),
+        cell=Cell([7.0, 7.0, 7.0]),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 10), st.integers(2, 8), st.integers(0, 1000), st.data())
+def test_batch_labels_follow_frame_selection(n_frames, n_atoms, seed, data):
+    ds = _dataset(n_frames, n_atoms, seed)
+    idx = np.array(
+        data.draw(st.lists(st.integers(0, n_frames - 1), min_size=1, max_size=5))
+    )
+    batch = make_batch(ds, idx, CFG)
+    assert np.array_equal(batch.energies, ds.energies[idx])
+    assert np.array_equal(batch.forces, ds.forces[idx])
+    assert np.array_equal(batch.coords, ds.positions[idx])
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(3, 10), st.integers(0, 1000), st.data())
+def test_frame_slice_matches_direct_batch(n_frames, seed, data):
+    ds = _dataset(n_frames, 5, seed)
+    lo = data.draw(st.integers(0, n_frames - 2))
+    hi = data.draw(st.integers(lo + 1, n_frames))
+    full = make_batch(ds, np.arange(n_frames), CFG)
+    sliced = full.frame_slice(lo, hi)
+    direct = make_batch(ds, np.arange(lo, hi), CFG)
+    assert np.array_equal(sliced.coords, direct.coords)
+    assert np.array_equal(sliced.idx_flat, direct.idx_flat)
+    assert np.array_equal(sliced.mask, direct.mask)
+    assert np.array_equal(sliced.energies, direct.energies)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(4, 12), st.floats(0.1, 0.9), st.integers(0, 1000))
+def test_split_is_a_partition(n_frames, frac, seed):
+    ds = _dataset(n_frames, 4, seed)
+    tr, te = ds.split(frac, seed=seed)
+    assert tr.n_frames + te.n_frames == n_frames
+    merged = np.concatenate([tr.energies, te.energies])
+    assert sorted(merged.tolist()) == sorted(ds.energies.tolist())
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 8), st.integers(0, 500))
+def test_neighbor_mask_consistent_with_cutoff(n_atoms, seed):
+    ds = _dataset(3, n_atoms, seed)
+    nb = ds.ensure_neighbors(CFG.rcut, CFG.nmax)
+    for t in range(3):
+        pos = ds.positions[t]
+        for a in range(n_atoms):
+            for k in range(CFG.nmax):
+                if nb.mask[t, a, k]:
+                    rij = pos[nb.idx[t, a, k]] + nb.shift[t, a, k] - pos[a]
+                    assert np.linalg.norm(rij) < CFG.rcut + 1e-9

@@ -1,0 +1,40 @@
+"""npz persistence round-trips."""
+
+import numpy as np
+
+from repro.data import load_dataset, save_dataset
+
+
+class TestRoundtrip:
+    def test_basic_roundtrip(self, cu_dataset, tmp_path):
+        path = str(tmp_path / "cu.npz")
+        save_dataset(cu_dataset, path)
+        back = load_dataset(path)
+        assert back.name == cu_dataset.name
+        assert np.array_equal(back.positions, cu_dataset.positions)
+        assert np.array_equal(back.energies, cu_dataset.energies)
+        assert np.array_equal(back.forces, cu_dataset.forces)
+        assert np.array_equal(back.species, cu_dataset.species)
+        assert np.array_equal(back.cell.lengths, cu_dataset.cell.lengths)
+        assert np.array_equal(back.temperatures, cu_dataset.temperatures)
+
+    def test_neighbors_roundtrip(self, cu_dataset, tmp_path):
+        cu_dataset.ensure_neighbors(3.2, 10)
+        path = str(tmp_path / "cu_nb.npz")
+        save_dataset(cu_dataset, path)
+        back = load_dataset(path)
+        assert back._neighbors is not None
+        assert np.array_equal(back._neighbors.idx, cu_dataset._neighbors.idx)
+        assert back._neighbors.rcut == 3.2
+
+    def test_no_neighbors_loads_none(self, cu_dataset, tmp_path):
+        ds = cu_dataset.subset(np.arange(3))
+        ds._neighbors = None
+        path = str(tmp_path / "plain.npz")
+        save_dataset(ds, path)
+        assert load_dataset(path)._neighbors is None
+
+    def test_creates_directories(self, cu_dataset, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "cu.npz")
+        save_dataset(cu_dataset.subset(np.arange(2)), path)
+        assert load_dataset(path).n_frames == 2

@@ -1,0 +1,32 @@
+"""The python -m repro.harness command-line interface."""
+
+import pytest
+
+from repro.harness.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "figure7b" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_cheap_experiment(self, capsys):
+        assert main(["scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "Sec 5.3 scaling" in out
+        assert "completed in" in out
+
+    def test_markdown_flag(self, capsys):
+        assert main(["table3", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "| System |" in out
+
+    def test_frames_override_forwarded(self, capsys):
+        assert main(["table3", "--frames", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "21" in out  # 7 frames x 3 temperatures for Cu

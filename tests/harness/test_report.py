@@ -1,0 +1,27 @@
+"""The one-command report generator."""
+
+from repro.harness.report import LIGHT_PLAN, TRAINING_PLAN, generate
+from repro.harness import EXPERIMENTS
+
+
+class TestReportGenerator:
+    def test_plans_reference_registered_experiments(self):
+        for name, _ in LIGHT_PLAN + TRAINING_PLAN:
+            assert name in EXPERIMENTS
+
+    def test_generates_markdown_for_subplan(self, tmp_path):
+        out = str(tmp_path / "r.md")
+        messages = []
+        reports = generate(
+            out, plan=[("table3", {}), ("scaling", {})],
+            progress=messages.append,
+        )
+        text = open(out).read()
+        assert len(reports) == 2
+        assert "Table 3" in text and "Sec 5.3 scaling" in text
+        assert any("table3" in m for m in messages)
+
+    def test_systems_forwarded(self, tmp_path):
+        out = str(tmp_path / "r.md")
+        generate(out, systems="Al", plan=[("table3", {})])  # table3 has no systems kwarg
+        assert "Al" in open(out).read()

@@ -1,0 +1,96 @@
+"""Periodic cell, minimum image, and kinetic conventions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.md import KB, KE_CONV, Cell, kinetic_energy, maxwell_boltzmann_velocities, temperature
+
+
+class TestCell:
+    def test_rejects_nonpositive_lengths(self):
+        with pytest.raises(ValueError):
+            Cell([1.0, 0.0, 1.0])
+
+    def test_volume(self):
+        assert Cell([2.0, 3.0, 4.0]).volume == pytest.approx(24.0)
+
+    def test_wrap_into_box(self):
+        cell = Cell([10.0, 10.0, 10.0])
+        wrapped = cell.wrap(np.array([[11.0, -1.0, 5.0]]))
+        assert np.allclose(wrapped, [[1.0, 9.0, 5.0]])
+
+    def test_minimum_image_halves(self):
+        cell = Cell([10.0, 10.0, 10.0])
+        dr = cell.minimum_image(np.array([6.0, -6.0, 4.0]))
+        assert np.allclose(dr, [-4.0, 4.0, 4.0])
+
+    def test_distance_symmetric(self):
+        cell = Cell([8.0, 8.0, 8.0])
+        a = np.array([0.5, 0.5, 0.5])
+        b = np.array([7.5, 7.5, 7.5])
+        assert cell.distance(a, b) == pytest.approx(np.sqrt(3.0))
+
+    def test_image_shift_reconstructs_minimum_image(self):
+        cell = Cell([5.0, 6.0, 7.0])
+        rng = np.random.default_rng(0)
+        dr = rng.uniform(-15, 15, size=(20, 3))
+        assert np.allclose(dr + cell.image_shifts(dr), cell.minimum_image(dr))
+
+    def test_max_cutoff(self):
+        assert Cell([6.0, 10.0, 8.0]).max_cutoff() == pytest.approx(3.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    hnp.arrays(np.float64, (4, 3), elements=st.floats(-50, 50, allow_nan=False)),
+    st.floats(2.0, 20.0),
+)
+def test_minimum_image_within_half_box(dr, length):
+    cell = Cell([length] * 3)
+    mi = cell.minimum_image(dr)
+    assert np.all(np.abs(mi) <= length / 2 + 1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(hnp.arrays(np.float64, (6, 3), elements=st.floats(-100, 100, allow_nan=False)))
+def test_wrap_idempotent(pos):
+    cell = Cell([7.0, 9.0, 11.0])
+    once = cell.wrap(pos)
+    assert np.allclose(cell.wrap(once), once)
+
+
+class TestKinetics:
+    def test_kinetic_energy_unit_convention(self):
+        v = np.array([[1.0, 0.0, 0.0]])
+        m = np.array([2.0])
+        assert kinetic_energy(v, m) == pytest.approx(0.5 * 2.0 * KE_CONV)
+
+    def test_temperature_zero_for_empty(self):
+        assert temperature(np.zeros((0, 3)), np.zeros(0)) == 0.0
+
+    def test_maxwell_boltzmann_statistics(self):
+        rng = np.random.default_rng(1)
+        m = np.full(2000, 40.0)
+        v = maxwell_boltzmann_velocities(m, 300.0, rng)
+        t = temperature(v, m)
+        assert t == pytest.approx(300.0, rel=0.1)
+
+    def test_maxwell_boltzmann_zero_momentum(self):
+        rng = np.random.default_rng(2)
+        m = np.array([1.0, 16.0, 12.0, 2.0])
+        v = maxwell_boltzmann_velocities(m, 500.0, rng)
+        assert np.allclose((m[:, None] * v).sum(axis=0), 0.0, atol=1e-12)
+
+    def test_zero_temperature_velocities(self):
+        rng = np.random.default_rng(3)
+        v = maxwell_boltzmann_velocities(np.ones(5), 0.0, rng)
+        assert np.allclose(v, 0.0)
+
+    def test_equipartition_consistency(self):
+        rng = np.random.default_rng(4)
+        m = np.full(100, 28.0)
+        v = maxwell_boltzmann_velocities(m, 700.0, rng)
+        ke = kinetic_energy(v, m)
+        assert temperature(v, m) == pytest.approx(2 * ke / (3 * 100 * KB))

@@ -1,0 +1,145 @@
+"""EAM potential and trajectory-analysis tools."""
+
+import numpy as np
+import pytest
+
+from repro.md import (
+    Cell,
+    LangevinIntegrator,
+    SuttonChenEAM,
+    SuttonChenParams,
+    fcc,
+    mean_squared_displacement,
+    radial_distribution,
+    rdf_similarity,
+)
+
+rng = np.random.default_rng(2)
+
+
+class TestSuttonChenEAM:
+    def _system(self):
+        pos, cell, sp = fcc(3.615, (2, 2, 2))
+        pos = pos + rng.normal(scale=0.06, size=pos.shape)
+        return pos, cell
+
+    def test_forces_match_numeric(self):
+        pos, cell = self._system()
+        eam = SuttonChenEAM(rcut=min(5.5, cell.max_cutoff() * 0.99))
+        e, f = eam.energy_forces(pos, cell)
+        eps = 1e-6
+        for i in (0, 9, 20):
+            for d in range(3):
+                p = pos.copy(); p[i, d] += eps
+                ep = eam.energy(p, cell)
+                p = pos.copy(); p[i, d] -= eps
+                em = eam.energy(p, cell)
+                assert f[i, d] == pytest.approx(-(ep - em) / (2 * eps), abs=1e-5)
+
+    def test_cohesive_energy_scale(self):
+        pos, cell, _ = fcc(3.615, (3, 3, 3))
+        eam = SuttonChenEAM(rcut=min(5.5, cell.max_cutoff() * 0.99))
+        e = eam.energy(pos, cell)
+        # Sutton-Chen Cu cohesive energy ~ -3.1 to -3.6 eV/atom at this cutoff
+        assert -4.0 < e / len(pos) < -2.5
+
+    def test_many_body_character(self):
+        """Removing one atom changes the *force on a distant pair's bond*
+        through the density -- impossible for a pure pair potential."""
+        cell = Cell([40.0] * 3)
+        trimer = np.array([[0.0, 0, 0], [2.6, 0, 0], [1.3, 2.2, 0.0]])
+        dimer = trimer[:2]
+        eam = SuttonChenEAM(rcut=8.0)
+        _, f3 = eam.energy_forces(trimer, cell)
+        _, f2 = eam.energy_forces(dimer, cell)
+        # the 0-1 bond force differs because atom 2 altered rho_0, rho_1
+        assert not np.allclose(f3[0] - (f3[0] @ np.array([0, 0, 1.0])), f2[0], atol=1e-6)
+
+    def test_newton_third_law(self):
+        pos, cell = self._system()
+        _, f = SuttonChenEAM(rcut=3.5).energy_forces(pos, cell)
+        assert np.allclose(f.sum(axis=0), 0.0, atol=1e-10)
+
+    def test_aluminium_parameters(self):
+        pos, cell, _ = fcc(4.05, (2, 2, 2))
+        eam = SuttonChenEAM(SuttonChenParams.aluminium(), rcut=cell.max_cutoff() * 0.99)
+        e = eam.energy(pos, cell)
+        assert np.isfinite(e) and e < 0
+
+    def test_isolated_atom_zero(self):
+        cell = Cell([50.0] * 3)
+        eam = SuttonChenEAM(rcut=6.0)
+        e, f = eam.energy_forces(np.array([[25.0, 25.0, 25.0]]), cell)
+        assert e == pytest.approx(0.0, abs=1e-10)
+        assert np.allclose(f, 0.0)
+
+
+class TestRDF:
+    def test_crystal_peaks_at_shells(self):
+        a = 3.615
+        pos, cell, _ = fcc(a, (3, 3, 3))
+        r, g = radial_distribution(pos[None], cell, n_bins=120)
+        first_shell = a / np.sqrt(2)
+        peak_r = r[np.argmax(g)]
+        assert peak_r == pytest.approx(first_shell, abs=0.1)
+
+    def test_normalization_far_field(self):
+        """A big random (ideal-gas-like) configuration has g ~ 1."""
+        box = 20.0
+        pts = np.random.default_rng(0).uniform(0, box, size=(400, 3))
+        r, g = radial_distribution(pts[None], Cell([box] * 3), n_bins=40)
+        # ignore the small-r bins (few counts)
+        assert np.mean(g[r > 3.0]) == pytest.approx(1.0, abs=0.15)
+
+    def test_similarity_bounds(self):
+        g = np.random.default_rng(1).random(50)
+        assert rdf_similarity(g, g) == pytest.approx(1.0)
+        assert 0.0 <= rdf_similarity(g, np.zeros(50)) <= 1.0
+
+    def test_multiframe_averaging(self):
+        pos, cell, _ = fcc(3.615, (2, 2, 2))
+        frames = np.stack([pos, pos])
+        r1, g1 = radial_distribution(pos[None], cell)
+        r2, g2 = radial_distribution(frames, cell)
+        assert np.allclose(g1, g2)
+
+
+class TestMSD:
+    def test_static_frames_zero(self):
+        pos = np.random.default_rng(0).uniform(0, 5, size=(3, 10, 3))
+        pos[1] = pos[0]
+        pos[2] = pos[0]
+        msd = mean_squared_displacement(pos)
+        assert np.allclose(msd, 0.0)
+
+    def test_ballistic_motion(self):
+        base = np.zeros((1, 4, 3))
+        v = np.array([0.1, 0.0, 0.0])
+        frames = np.concatenate([base + t * v for t in range(5)])
+        msd = mean_squared_displacement(frames.reshape(5, 4, 3))
+        assert np.allclose(msd, [0.0, 0.01, 0.04, 0.09, 0.16])
+
+    def test_unwrapping_through_boundary(self):
+        cell = Cell([5.0, 5.0, 5.0])
+        frames = np.array([
+            [[4.8, 0.0, 0.0]],
+            [[0.1, 0.0, 0.0]],  # crossed the boundary: true step 0.3
+        ])
+        msd = mean_squared_displacement(frames, cell)
+        assert msd[1] == pytest.approx(0.09, abs=1e-12)
+
+    def test_diffusive_trajectory_increases(self):
+        pos, cell, sp = fcc(3.615, (2, 2, 2))
+        from repro.md import LennardJones
+
+        lj = LennardJones(sp, {(0, 0): (0.409, 2.338)}, rcut=3.5)
+        masses = np.full(len(pos), 63.5)
+        integ = LangevinIntegrator(lj, masses, cell, timestep=2.0, temperature=1500.0,
+                                   friction=0.05, rng=np.random.default_rng(5))
+        st = integ.initialize(pos, temp=1500.0)
+        frames = [st.positions.copy()]
+        for _ in range(10):
+            st = integ.run(st, 10)
+            frames.append(st.positions.copy())
+        msd = mean_squared_displacement(np.stack(frames), cell)
+        assert msd[-1] > msd[1] > 0

@@ -1,0 +1,105 @@
+"""Integrator: NVE conservation, thermostat statistics, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.md import (
+    Cell,
+    LangevinIntegrator,
+    LennardJones,
+    fcc,
+    kinetic_energy,
+    temperature,
+)
+
+
+def _lj_system(reps=(2, 2, 2)):
+    pos, cell, sp = fcc(3.615, reps)
+    pot = LennardJones(sp, {(0, 0): (0.409, 2.338)}, rcut=min(3.5, cell.max_cutoff() * 0.99))
+    masses = np.full(len(pos), 63.5)
+    return pot, pos, cell, masses
+
+
+class TestNVE:
+    def test_energy_conservation(self):
+        pot, pos, cell, masses = _lj_system()
+        integ = LangevinIntegrator(pot, masses, cell, timestep=1.0, friction=0.0,
+                                   rng=np.random.default_rng(0))
+        st = integ.initialize(pos, temp=150.0)
+        e0 = st.potential_energy + kinetic_energy(st.velocities, masses)
+        st = integ.run(st, 300)
+        e1 = st.potential_energy + kinetic_energy(st.velocities, masses)
+        assert abs(e1 - e0) / abs(e0) < 1e-4
+
+    def test_smaller_timestep_conserves_better(self):
+        drifts = []
+        for dt in (2.0, 0.5):
+            pot, pos, cell, masses = _lj_system()
+            integ = LangevinIntegrator(pot, masses, cell, timestep=dt, friction=0.0,
+                                       rng=np.random.default_rng(0))
+            st = integ.initialize(pos, temp=200.0)
+            e0 = st.potential_energy + kinetic_energy(st.velocities, masses)
+            st = integ.run(st, int(100 / dt))
+            e1 = st.potential_energy + kinetic_energy(st.velocities, masses)
+            drifts.append(abs(e1 - e0))
+        assert drifts[1] < drifts[0]
+
+    def test_step_counter(self):
+        pot, pos, cell, masses = _lj_system()
+        integ = LangevinIntegrator(pot, masses, cell, friction=0.0)
+        st = integ.initialize(pos)
+        st = integ.run(st, 7)
+        assert st.step == 7
+
+
+class TestThermostat:
+    def test_equilibrates_to_target_temperature(self):
+        pot, pos, cell, masses = _lj_system()
+        integ = LangevinIntegrator(pot, masses, cell, timestep=2.0, temperature=400.0,
+                                   friction=0.05, rng=np.random.default_rng(1))
+        st = integ.initialize(pos, temp=100.0)
+        temps = []
+        def collect(s):
+            temps.append(temperature(s.velocities, masses))
+        integ.run(st, 500, callback=collect, callback_every=10)
+        late = np.mean(temps[len(temps) // 2:])
+        assert late == pytest.approx(400.0, rel=0.25)
+
+    def test_heats_and_cools(self):
+        for t_target, t_start in ((600.0, 100.0), (100.0, 600.0)):
+            pot, pos, cell, masses = _lj_system()
+            integ = LangevinIntegrator(pot, masses, cell, timestep=2.0,
+                                       temperature=t_target, friction=0.05,
+                                       rng=np.random.default_rng(2))
+            st = integ.initialize(pos, temp=t_start)
+            st = integ.run(st, 400)
+            t_end = temperature(st.velocities, masses)
+            assert abs(t_end - t_target) < abs(t_start - t_target)
+
+    def test_positions_stay_wrapped(self):
+        pot, pos, cell, masses = _lj_system()
+        integ = LangevinIntegrator(pot, masses, cell, timestep=2.0, temperature=800.0,
+                                   friction=0.02, rng=np.random.default_rng(3))
+        st = integ.initialize(pos, temp=800.0)
+        st = integ.run(st, 100)
+        assert np.all(st.positions >= 0.0)
+        assert np.all(st.positions <= cell.lengths)
+
+    def test_deterministic_given_seed(self):
+        outs = []
+        for _ in range(2):
+            pot, pos, cell, masses = _lj_system()
+            integ = LangevinIntegrator(pot, masses, cell, temperature=300.0,
+                                       friction=0.02, rng=np.random.default_rng(9))
+            st = integ.initialize(pos)
+            st = integ.run(st, 50)
+            outs.append(st.positions.copy())
+        assert np.array_equal(outs[0], outs[1])
+
+    def test_callback_cadence(self):
+        pot, pos, cell, masses = _lj_system()
+        integ = LangevinIntegrator(pot, masses, cell, friction=0.0)
+        st = integ.initialize(pos)
+        calls = []
+        integ.run(st, 10, callback=lambda s: calls.append(s.step), callback_every=3)
+        assert calls == [3, 6, 9]

@@ -1,0 +1,103 @@
+"""Lattice builders: atom counts, spacings, species, periodicity."""
+
+import numpy as np
+import pytest
+
+from repro.md import Cell, bcc, diamond, fcc, fluorite, hcp, rocksalt, water_box
+from repro.md.neighbor import pair_list_bruteforce
+
+
+class TestCounts:
+    def test_fcc_count(self):
+        pos, cell, sp = fcc(3.6, (3, 3, 3))
+        assert len(pos) == 108 and len(sp) == 108
+
+    def test_bcc_count(self):
+        pos, _, _ = bcc(3.0, (2, 2, 2))
+        assert len(pos) == 16
+
+    def test_hcp_count(self):
+        pos, _, _ = hcp(3.2, 5.2, (3, 3, 1))
+        assert len(pos) == 36
+
+    def test_diamond_count(self):
+        pos, _, _ = diamond(5.4, (2, 2, 2))
+        assert len(pos) == 64
+
+    def test_rocksalt_counts_and_species(self):
+        pos, _, sp = rocksalt(5.6, (2, 2, 2))
+        assert len(pos) == 64
+        assert (sp == 0).sum() == 32 and (sp == 1).sum() == 32
+
+    def test_fluorite_stoichiometry(self):
+        pos, _, sp = fluorite(5.1, (2, 2, 2))
+        assert len(pos) == 96
+        assert (sp == 1).sum() == 2 * (sp == 0).sum()
+
+
+class TestGeometry:
+    def test_fcc_nearest_neighbor_distance(self):
+        a = 3.6
+        pos, cell, _ = fcc(a, (3, 3, 3))
+        pl = pair_list_bruteforce(pos, cell, a)
+        assert pl.r.min() == pytest.approx(a / np.sqrt(2.0))
+
+    def test_fcc_coordination_12(self):
+        a = 3.6
+        pos, cell, _ = fcc(a, (3, 3, 3))
+        pl = pair_list_bruteforce(pos, cell, a / np.sqrt(2) * 1.1)
+        counts = np.bincount(np.concatenate([pl.i, pl.j]), minlength=len(pos))
+        assert np.all(counts == 12)
+
+    def test_diamond_coordination_4(self):
+        a = 5.43
+        pos, cell, _ = diamond(a, (2, 2, 2))
+        pl = pair_list_bruteforce(pos, cell, a * np.sqrt(3) / 4 * 1.1)
+        counts = np.bincount(np.concatenate([pl.i, pl.j]), minlength=len(pos))
+        assert np.all(counts == 4)
+
+    def test_rocksalt_nearest_is_unlike(self):
+        pos, cell, sp = rocksalt(5.6, (2, 2, 2))
+        pl = pair_list_bruteforce(pos, cell, 5.6 / 2 * 1.05)
+        nearest = pl.r < pl.r.min() * 1.01
+        assert np.all(sp[pl.i[nearest]] != sp[pl.j[nearest]])
+
+    def test_positions_inside_cell(self):
+        for builder in (lambda: fcc(3.6, (2, 2, 2)), lambda: hcp(3.2, 5.2, (2, 2, 1))):
+            pos, cell, _ = builder()
+            assert np.all(pos >= -1e-9)
+            assert np.all(pos <= cell.lengths + 1e-9)
+
+    def test_no_overlapping_atoms(self):
+        for pos, cell, _ in (fcc(3.6, (2, 2, 2)), diamond(5.4, (1, 1, 1)),
+                             rocksalt(5.6, (1, 1, 1)), fluorite(5.1, (1, 1, 1))):
+            pl = pair_list_bruteforce(pos, cell, 1.0)
+            assert len(pl) == 0 or pl.r.min() > 0.5
+
+
+class TestWaterBox:
+    def test_molecule_count_and_species(self):
+        pos, cell, sp, mol = water_box(8, rng=np.random.default_rng(0))
+        assert len(pos) == 24 and mol.shape == (8, 3)
+        assert np.all(sp[mol[:, 0]] == 0)
+        assert np.all(sp[mol[:, 1:]] == 1)
+
+    def test_oh_bond_lengths(self):
+        pos, cell, sp, mol = water_box(8, rng=np.random.default_rng(0))
+        for h_col in (1, 2):
+            d = cell.distance(pos[mol[:, h_col]], pos[mol[:, 0]])
+            assert np.allclose(d, 0.9572, atol=1e-6)
+
+    def test_hoh_angle(self):
+        pos, cell, sp, mol = water_box(4, rng=np.random.default_rng(1))
+        u = cell.minimum_image(pos[mol[:, 1]] - pos[mol[:, 0]])
+        v = cell.minimum_image(pos[mol[:, 2]] - pos[mol[:, 0]])
+        cosang = np.sum(u * v, axis=1) / (
+            np.linalg.norm(u, axis=1) * np.linalg.norm(v, axis=1)
+        )
+        assert np.allclose(np.degrees(np.arccos(cosang)), 104.52, atol=0.1)
+
+    def test_density_factor_shrinks_box(self):
+        _, cell1, _, _ = water_box(8, density_factor=1.0)
+        _, cell2, _, _ = water_box(8, density_factor=1.5)
+        assert cell2.volume < cell1.volume

@@ -1,0 +1,114 @@
+"""Neighbor search: backend agreement, table semantics, shifts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.md import Cell, fcc, max_neighbor_count, neighbor_table, pair_list
+from repro.md.neighbor import pair_list_bruteforce, pair_list_cells
+
+
+def _random_config(n, box, seed):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0, box, size=(n, 3)), Cell([box] * 3)
+
+
+class TestBackendsAgree:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_cells_match_bruteforce_random(self, seed):
+        pos, cell = _random_config(60, 12.0, seed)
+        rcut = 3.0
+        a = pair_list_bruteforce(pos, cell, rcut)
+        b = pair_list_cells(pos, cell, rcut)
+        pa = set(zip(a.i.tolist(), a.j.tolist()))
+        pb = set(zip(b.i.tolist(), b.j.tolist()))
+        assert pa == pb
+        # and identical geometry for each shared pair
+        da = {(i, j): r for i, j, r in zip(a.i, a.j, a.r)}
+        db = {(i, j): r for i, j, r in zip(b.i, b.j, b.r)}
+        for k in da:
+            assert da[k] == pytest.approx(db[k])
+
+    def test_cells_fallback_small_box(self):
+        pos, cell = _random_config(20, 5.0, 0)
+        out = pair_list_cells(pos, cell, 2.5)  # fewer than 3 bins -> fallback
+        ref = pair_list_bruteforce(pos, cell, 2.5)
+        assert len(out) == len(ref)
+
+    def test_dispatcher_picks_consistent_result(self):
+        pos, cell = _random_config(300, 20.0, 1)
+        out = pair_list(pos, cell, 3.0)
+        ref = pair_list_bruteforce(pos, cell, 3.0)
+        assert len(out) == len(ref)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(8, 40), st.floats(2.0, 4.0), st.integers(0, 10**6))
+def test_pair_list_properties(n, rcut, seed):
+    pos, cell = _random_config(n, 10.0, seed)
+    pl = pair_list_bruteforce(pos, cell, rcut)
+    assert np.all(pl.i < pl.j)  # half list
+    assert np.all(pl.r < rcut)
+    assert np.allclose(np.linalg.norm(pl.rij, axis=1), pl.r)
+
+
+class TestNeighborTable:
+    def test_shift_reconstructs_displacement(self):
+        pos, cell, _ = fcc(3.6, (2, 2, 2))
+        table = neighbor_table(pos, cell, 3.0, 16)
+        for a in range(len(pos)):
+            for k in range(16):
+                if not table.mask[a, k]:
+                    continue
+                rij = pos[table.idx[a, k]] + table.shift[a, k] - pos[a]
+                assert np.linalg.norm(rij) < 3.0
+
+    def test_padding_points_to_self(self):
+        pos, cell, _ = fcc(3.6, (2, 2, 2))
+        table = neighbor_table(pos, cell, 2.7, 30)
+        pads = ~table.mask
+        assert pads.any()
+        idx_grid = np.tile(np.arange(len(pos))[:, None], (1, 30))
+        assert np.all(table.idx[pads] == idx_grid[pads])
+        assert np.allclose(table.shift[pads], 0.0)
+
+    def test_neighbors_sorted_by_distance(self):
+        pos, cell, _ = fcc(3.6, (2, 2, 2))
+        pos = pos + np.random.default_rng(0).normal(scale=0.05, size=pos.shape)
+        table = neighbor_table(pos, cell, 3.4, 20)
+        for a in range(len(pos)):
+            k = table.mask[a].sum()
+            d = np.linalg.norm(
+                pos[table.idx[a, :k]] + table.shift[a, :k] - pos[a], axis=1
+            )
+            assert np.all(np.diff(d) >= -1e-12)
+
+    def test_truncates_to_nmax_keeping_closest(self):
+        pos, cell, _ = fcc(3.6, (2, 2, 2))
+        full = neighbor_table(pos, cell, 3.4, 30)
+        k_real = int(full.mask[0].sum())
+        small = neighbor_table(pos, cell, 3.4, k_real - 2)
+        assert small.mask.all()
+        # the kept neighbors are the nearest ones
+        d_full = np.sort(
+            np.linalg.norm(pos[full.idx[0, :k_real]] + full.shift[0, :k_real] - pos[0], axis=1)
+        )
+        d_small = np.sort(
+            np.linalg.norm(
+                pos[small.idx[0]] + small.shift[0] - pos[0], axis=1
+            )
+        )
+        assert np.allclose(d_small, d_full[: k_real - 2])
+
+    def test_symmetry_of_neighborhood(self):
+        """If j is a (kept) neighbor of i with generous nmax, i is one of j."""
+        pos, cell, _ = fcc(3.6, (2, 2, 2))
+        table = neighbor_table(pos, cell, 3.0, 40)
+        for a in range(len(pos)):
+            for k in range(40):
+                if table.mask[a, k]:
+                    assert a in set(table.idx[table.idx[a, k]][table.mask[table.idx[a, k]]])
+
+    def test_max_neighbor_count(self):
+        pos, cell, _ = fcc(3.6, (3, 3, 3))
+        assert max_neighbor_count(pos, cell, 3.6 / np.sqrt(2) * 1.05) == 12

@@ -1,0 +1,207 @@
+"""Potentials: analytic forces vs central differences, physical sanity."""
+
+import numpy as np
+import pytest
+
+from repro.md import (
+    Buckingham,
+    Cell,
+    Composite,
+    FlexibleWater,
+    LennardJones,
+    Morse,
+    StillingerWeber,
+    SWParams,
+    WolfCoulomb,
+    diamond,
+    fcc,
+    rocksalt,
+    water_box,
+)
+
+rng = np.random.default_rng(5)
+
+
+def check_forces(pot, pos, cell, tol=1e-5, eps=1e-6):
+    e, f = pot.energy_forces(pos, cell)
+    for i in rng.choice(pos.shape[0], size=min(6, pos.shape[0]), replace=False):
+        for d in range(3):
+            p = pos.copy(); p[i, d] += eps
+            ep = pot.energy(p, cell)
+            p = pos.copy(); p[i, d] -= eps
+            em = pot.energy(p, cell)
+            num = -(ep - em) / (2 * eps)
+            assert f[i, d] == pytest.approx(num, abs=tol), (i, d)
+    return e, f
+
+
+def _perturbed_fcc():
+    pos, cell, sp = fcc(3.615, (2, 2, 2))
+    return pos + rng.normal(scale=0.06, size=pos.shape), cell, sp
+
+
+class TestLennardJones:
+    def test_forces_match_numeric(self):
+        pos, cell, sp = _perturbed_fcc()
+        check_forces(LennardJones(sp, {(0, 0): (0.4, 2.3)}, rcut=3.5), pos, cell)
+
+    def test_dimer_minimum_at_r0(self):
+        sp = np.zeros(2, dtype=np.int64)
+        eps_, sigma = 0.5, 2.0
+        lj = LennardJones(sp, {(0, 0): (eps_, sigma)}, rcut=8.0)
+        cell = Cell([30.0, 30.0, 30.0])
+        r0 = 2 ** (1 / 6) * sigma
+        _, f = lj.energy_forces(np.array([[0.0, 0, 0], [r0, 0, 0]]), cell)
+        assert np.allclose(f, 0.0, atol=1e-10)
+
+    def test_repulsive_inside_minimum(self):
+        sp = np.zeros(2, dtype=np.int64)
+        lj = LennardJones(sp, {(0, 0): (0.5, 2.0)}, rcut=8.0)
+        cell = Cell([30.0] * 3)
+        _, f = lj.energy_forces(np.array([[0.0, 0, 0], [1.8, 0, 0]]), cell)
+        assert f[1, 0] > 0  # pushed apart
+
+    def test_energy_continuous_at_cutoff(self):
+        sp = np.zeros(2, dtype=np.int64)
+        lj = LennardJones(sp, {(0, 0): (0.5, 2.0)}, rcut=5.0)
+        cell = Cell([30.0] * 3)
+        e_in = lj.energy(np.array([[0.0, 0, 0], [4.999, 0, 0]]), cell)
+        e_out = lj.energy(np.array([[0.0, 0, 0], [5.001, 0, 0]]), cell)
+        assert abs(e_in - e_out) < 1e-3
+
+    def test_newton_third_law(self):
+        pos, cell, sp = _perturbed_fcc()
+        _, f = LennardJones(sp, {(0, 0): (0.4, 2.3)}, rcut=3.5).energy_forces(pos, cell)
+        assert np.allclose(f.sum(axis=0), 0.0, atol=1e-10)
+
+
+class TestMorse:
+    def test_forces_match_numeric(self):
+        pos, cell, sp = _perturbed_fcc()
+        check_forces(Morse(sp, {(0, 0): (0.35, 1.3, 2.85)}, rcut=3.5), pos, cell)
+
+    def test_dimer_equilibrium(self):
+        sp = np.zeros(2, dtype=np.int64)
+        m = Morse(sp, {(0, 0): (0.4, 1.4, 3.0)}, rcut=9.0)
+        cell = Cell([30.0] * 3)
+        _, f = m.energy_forces(np.array([[0.0, 0, 0], [3.0, 0, 0]]), cell)
+        assert np.allclose(f, 0.0, atol=1e-12)
+
+    def test_well_depth(self):
+        sp = np.zeros(2, dtype=np.int64)
+        m = Morse(sp, {(0, 0): (0.4, 1.4, 3.0)}, rcut=12.0)
+        cell = Cell([40.0] * 3)
+        e_min = m.energy(np.array([[0.0, 0, 0], [3.0, 0, 0]]), cell)
+        assert e_min == pytest.approx(-0.4, abs=1e-3)  # shifted cutoff ~ 0
+
+
+class TestIonic:
+    def _nacl(self):
+        pos, cell, sp = rocksalt(5.64, (2, 2, 2))
+        pos = pos + rng.normal(scale=0.05, size=pos.shape)
+        q = np.where(sp == 0, 1.0, -1.0)
+        buck = Buckingham(
+            sp,
+            {(0, 0): (424.0, 0.32, 1.05), (0, 1): (1256.0, 0.32, 7.0), (1, 1): (3488.0, 0.32, 73.0)},
+            rcut=5.5,
+        )
+        return pos, cell, sp, q, buck
+
+    def test_buckingham_forces(self):
+        pos, cell, sp, q, buck = self._nacl()
+        check_forces(buck, pos, cell)
+
+    def test_wolf_forces(self):
+        pos, cell, sp, q, _ = self._nacl()
+        check_forces(WolfCoulomb(q, alpha=0.3, rcut=5.5), pos, cell)
+
+    def test_composite_sums_parts(self):
+        pos, cell, sp, q, buck = self._nacl()
+        wolf = WolfCoulomb(q, alpha=0.3, rcut=5.5)
+        comp = Composite([buck, wolf])
+        e, f = comp.energy_forces(pos, cell)
+        e1, f1 = buck.energy_forces(pos, cell)
+        e2, f2 = wolf.energy_forces(pos, cell)
+        assert e == pytest.approx(e1 + e2)
+        assert np.allclose(f, f1 + f2)
+
+    def test_wolf_opposite_charges_attract(self):
+        q = np.array([1.0, -1.0])
+        wolf = WolfCoulomb(q, alpha=0.2, rcut=8.0)
+        cell = Cell([30.0] * 3)
+        e, f = wolf.energy_forces(np.array([[0.0, 0, 0], [2.5, 0, 0]]), cell)
+        assert e < 0 and f[1, 0] < 0
+
+    def test_wolf_exclusions(self):
+        q = np.array([1.0, -1.0])
+        wolf = WolfCoulomb(q, alpha=0.2, rcut=8.0, exclude={(0, 1)})
+        cell = Cell([30.0] * 3)
+        e, f = wolf.energy_forces(np.array([[0.0, 0, 0], [2.5, 0, 0]]), cell)
+        assert e == 0.0 and np.allclose(f, 0.0)
+
+
+class TestStillingerWeber:
+    def test_forces_match_numeric(self):
+        pos, cell, _ = diamond(5.43, (2, 2, 2))
+        pos = pos + rng.normal(scale=0.08, size=pos.shape)
+        check_forces(StillingerWeber(), pos, cell, tol=1e-4)
+
+    def test_diamond_is_near_equilibrium(self):
+        pos, cell, _ = diamond(5.431, (2, 2, 2))
+        _, f = StillingerWeber().energy_forces(pos, cell)
+        assert np.abs(f).max() < 0.2
+
+    def test_cohesive_energy_scale(self):
+        pos, cell, _ = diamond(5.431, (2, 2, 2))
+        e = StillingerWeber().energy(pos, cell)
+        # SW cohesive energy ~ -4.34 eV/atom
+        assert e / len(pos) == pytest.approx(-4.34, abs=0.15)
+
+    def test_three_body_penalizes_bent_trimer(self):
+        """Energy rises when a tetrahedral angle is distorted."""
+        p = SWParams()
+        cell = Cell([50.0] * 3)
+        d = 2.35
+        cos0 = p.cos_theta0
+
+        def trimer(cos_angle):
+            ang = np.arccos(cos_angle)
+            return np.array(
+                [[0.0, 0, 0], [d, 0, 0], [d * np.cos(ang), d * np.sin(ang), 0]]
+            )
+
+        sw = StillingerWeber(p)
+        e_ideal = sw.energy(trimer(cos0), cell)
+        e_bent = sw.energy(trimer(cos0 + 0.3), cell)
+        assert e_bent > e_ideal
+
+    def test_newton_third_law(self):
+        pos, cell, _ = diamond(5.43, (1, 1, 1))
+        pos = pos + rng.normal(scale=0.05, size=pos.shape)
+        _, f = StillingerWeber().energy_forces(pos, cell)
+        assert np.allclose(f.sum(axis=0), 0.0, atol=1e-10)
+
+
+class TestWater:
+    def test_forces_match_numeric(self):
+        pos, cell, sp, mol = water_box(8, rng=rng)
+        pos = pos + rng.normal(scale=0.02, size=pos.shape)
+        check_forces(FlexibleWater(sp, mol), pos, cell)
+
+    def test_bond_restoring_force(self):
+        pos, cell, sp, mol = water_box(1, rng=np.random.default_rng(0))
+        w = FlexibleWater(sp, mol, rcut=3.0)
+        o, h1, _ = mol[0]
+        stretched = pos.copy()
+        direction = cell.minimum_image(pos[h1] - pos[o])
+        direction /= np.linalg.norm(direction)
+        stretched[h1] += 0.3 * direction
+        _, f = w.energy_forces(stretched, cell)
+        assert f[h1] @ direction < 0  # pulled back toward O
+
+    def test_energy_increases_with_distortion(self):
+        pos, cell, sp, mol = water_box(4, rng=np.random.default_rng(1))
+        w = FlexibleWater(sp, mol)
+        e0 = w.energy(pos, cell)
+        e1 = w.energy(pos + rng.normal(scale=0.1, size=pos.shape), cell)
+        assert e1 > e0

@@ -1,0 +1,68 @@
+"""Trajectory sampler: frame counts, labels, temperature metadata."""
+
+import numpy as np
+import pytest
+
+from repro.md import LennardJones, fcc, sample_trajectory
+
+
+def _setup():
+    pos, cell, sp = fcc(3.615, (2, 2, 2))
+    pot = LennardJones(sp, {(0, 0): (0.409, 2.338)}, rcut=min(3.5, cell.max_cutoff() * 0.99))
+    masses = np.full(len(pos), 63.5)
+    return pot, pos, cell, sp, masses
+
+
+class TestSampler:
+    def test_frame_count(self):
+        pot, pos, cell, sp, masses = _setup()
+        traj = sample_trajectory(pot, pos, cell, sp, masses, [300, 500], 4,
+                                 equilibration_steps=5, stride=2)
+        assert len(traj) == 8
+
+    def test_labels_match_potential(self):
+        pot, pos, cell, sp, masses = _setup()
+        traj = sample_trajectory(pot, pos, cell, sp, masses, [300], 3,
+                                 equilibration_steps=5, stride=2)
+        for frame in traj.frames:
+            e, f = pot.energy_forces(frame.positions, cell)
+            assert frame.energy == pytest.approx(e)
+            assert np.allclose(frame.forces, f)
+
+    def test_temperature_metadata_ordered(self):
+        pot, pos, cell, sp, masses = _setup()
+        traj = sample_trajectory(pot, pos, cell, sp, masses, [300, 800], 3,
+                                 equilibration_steps=5, stride=2)
+        temps = [f.temperature for f in traj.frames]
+        assert temps == [300.0] * 3 + [800.0] * 3
+
+    def test_frames_are_distinct(self):
+        pot, pos, cell, sp, masses = _setup()
+        traj = sample_trajectory(pot, pos, cell, sp, masses, [500], 4,
+                                 equilibration_steps=5, stride=3)
+        p = traj.positions_array()
+        for a in range(len(p) - 1):
+            assert not np.allclose(p[a], p[a + 1])
+
+    def test_deterministic_given_seed(self):
+        pot, pos, cell, sp, masses = _setup()
+        t1 = sample_trajectory(pot, pos, cell, sp, masses, [400], 3, seed=4,
+                               equilibration_steps=5, stride=2)
+        t2 = sample_trajectory(pot, pos, cell, sp, masses, [400], 3, seed=4,
+                               equilibration_steps=5, stride=2)
+        assert np.array_equal(t1.positions_array(), t2.positions_array())
+
+    def test_array_views(self):
+        pot, pos, cell, sp, masses = _setup()
+        traj = sample_trajectory(pot, pos, cell, sp, masses, [400], 3,
+                                 equilibration_steps=3, stride=2)
+        assert traj.positions_array().shape == (3, len(pos), 3)
+        assert traj.energies_array().shape == (3,)
+        assert traj.forces_array().shape == (3, len(pos), 3)
+
+    def test_higher_temperature_more_disorder(self):
+        pot, pos, cell, sp, masses = _setup()
+        traj = sample_trajectory(pot, pos, cell, sp, masses, [100, 1200], 6,
+                                 equilibration_steps=40, stride=3)
+        e = traj.energies_array()
+        assert e[6:].mean() > e[:6].mean()  # hotter -> higher potential energy

@@ -1,0 +1,55 @@
+"""Berendsen / velocity-rescale thermostats."""
+
+import numpy as np
+import pytest
+
+from repro.md import (
+    LennardJones,
+    ThermostattedIntegrator,
+    fcc,
+    kinetic_target_ev,
+    temperature,
+)
+from repro.md.cell import KB
+
+
+def _system():
+    pos, cell, sp = fcc(3.615, (2, 2, 2))
+    pot = LennardJones(sp, {(0, 0): (0.409, 2.338)}, rcut=min(3.5, cell.max_cutoff() * 0.99))
+    return pot, pos, cell, np.full(len(pos), 63.5)
+
+
+class TestThermostats:
+    @pytest.mark.parametrize("mode", ["berendsen", "rescale"])
+    def test_equilibrates_to_target(self, mode):
+        pot, pos, cell, masses = _system()
+        integ = ThermostattedIntegrator(pot, masses, cell, timestep=2.0,
+                                        temperature=500.0, mode=mode,
+                                        rng=np.random.default_rng(0))
+        st = integ.initialize(pos, temp=100.0)
+        st = integ.run(st, 400)
+        assert temperature(st.velocities, masses) == pytest.approx(500.0, rel=0.3)
+
+    def test_unknown_mode_rejected(self):
+        pot, pos, cell, masses = _system()
+        with pytest.raises(ValueError):
+            ThermostattedIntegrator(pot, masses, cell, mode="nose")
+
+    def test_berendsen_gentler_than_rescale(self):
+        """Berendsen changes kinetic energy gradually; rescale jumps."""
+        deltas = {}
+        for mode in ("berendsen", "rescale"):
+            pot, pos, cell, masses = _system()
+            integ = ThermostattedIntegrator(pot, masses, cell, timestep=2.0,
+                                            temperature=900.0, mode=mode,
+                                            tau_fs=400.0, rescale_every=5,
+                                            rng=np.random.default_rng(1))
+            st = integ.initialize(pos, temp=100.0)
+            temps = []
+            integ.run(st, 40, callback=lambda s: temps.append(
+                temperature(s.velocities, masses)), callback_every=1)
+            deltas[mode] = np.abs(np.diff(temps)).max()
+        assert deltas["berendsen"] < deltas["rescale"]
+
+    def test_kinetic_target(self):
+        assert kinetic_target_ev(10, 300.0) == pytest.approx(1.5 * 10 * KB * 300.0)

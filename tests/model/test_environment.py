@@ -1,0 +1,135 @@
+"""Environment matrix: graph/np/fused parity, adjointness, batch slicing."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, grad, ops
+from repro.model import compute_stats, identity_stats, make_batch
+from repro.model.environment import (
+    _make_env_linear_ops,
+    _env_intermediates,
+    environment_fused,
+    environment_graph,
+    environment_np,
+)
+
+
+@pytest.fixture()
+def env_setup(cu_dataset, small_cfg):
+    batch = make_batch(cu_dataset, np.arange(2), small_cfg)
+    stats = compute_stats(cu_dataset, small_cfg)
+    return batch, stats, small_cfg
+
+
+class TestParity:
+    def test_graph_equals_numpy(self, env_setup):
+        batch, stats, cfg = env_setup
+        rn_g = environment_graph(Tensor(batch.coords), batch, cfg, stats)
+        rn_np, _ = environment_np(batch.coords, batch, cfg, stats)
+        assert np.allclose(rn_g.data, rn_np, atol=1e-12)
+
+    def test_fused_equals_graph(self, env_setup):
+        batch, stats, cfg = env_setup
+        rn_g = environment_graph(Tensor(batch.coords), batch, cfg, stats)
+        rn_f = environment_fused(Tensor(batch.coords), batch, cfg, stats)
+        assert np.allclose(rn_g.data, rn_f.data, atol=1e-12)
+
+    def test_padded_rows_zero(self, env_setup):
+        batch, stats, cfg = env_setup
+        rn, _ = environment_np(batch.coords, batch, cfg, stats)
+        assert np.allclose(rn[~batch.mask], 0.0)
+
+    def test_gradients_match_between_paths(self, env_setup):
+        batch, stats, cfg = env_setup
+        proj = np.random.default_rng(0).normal(size=(batch.batch_size, batch.n_atoms, batch.nmax, 4))
+        grads = []
+        for fn in (environment_graph, environment_fused):
+            coords = Tensor(batch.coords, requires_grad=True)
+            rn = fn(coords, batch, cfg, stats)
+            (g,) = grad(ops.tsum(ops.mul(rn, Tensor(proj))), [coords])
+            grads.append(g.data)
+        assert np.allclose(grads[0], grads[1], atol=1e-10)
+
+    def test_fused_gradient_matches_numeric(self, env_setup):
+        batch, stats, cfg = env_setup
+        rng = np.random.default_rng(1)
+        proj = rng.normal(size=(batch.batch_size, batch.n_atoms, batch.nmax, 4))
+        coords = Tensor(batch.coords, requires_grad=True)
+        rn = environment_fused(coords, batch, cfg, stats)
+        (g,) = grad(ops.tsum(ops.mul(rn, Tensor(proj))), [coords])
+        eps = 1e-6
+        for (b, i, d) in [(0, 3, 1), (1, 7, 0), (0, 0, 2)]:
+            cp = batch.coords.copy(); cp[b, i, d] += eps
+            cm = batch.coords.copy(); cm[b, i, d] -= eps
+            fp = (environment_np(cp, batch, cfg, stats)[0] * proj).sum()
+            fm = (environment_np(cm, batch, cfg, stats)[0] * proj).sum()
+            assert g.data[b, i, d] == pytest.approx((fp - fm) / (2 * eps), abs=1e-5)
+
+
+class TestLinearAdjoint:
+    def test_vjp_transpose_is_adjoint(self, env_setup):
+        """<A u, v> == <u, A^T v> for the env backward linear map."""
+        batch, stats, cfg = env_setup
+        env = _env_intermediates(batch.coords, batch, cfg)
+        vjp_op, adjoint_op = _make_env_linear_ops(env, batch, stats)
+        rng = np.random.default_rng(2)
+        u = rng.normal(size=(batch.batch_size, batch.n_atoms, batch.nmax, 4))
+        v = rng.normal(size=(batch.batch_size, batch.n_atoms, 3))
+        au = vjp_op(Tensor(u)).data
+        atv = adjoint_op(Tensor(v)).data
+        assert float((au * v).sum()) == pytest.approx(float((u * atv).sum()), rel=1e-10)
+
+    def test_mutual_backward_recursion(self, env_setup):
+        """The two linear ops are each other's backward (any order)."""
+        batch, stats, cfg = env_setup
+        env = _env_intermediates(batch.coords, batch, cfg)
+        vjp_op, _ = _make_env_linear_ops(env, batch, stats)
+        rng = np.random.default_rng(3)
+        u = Tensor(
+            rng.normal(size=(batch.batch_size, batch.n_atoms, batch.nmax, 4)),
+            requires_grad=True,
+        )
+        out = vjp_op(u)
+        w = rng.normal(size=out.shape)
+        (g,) = grad(ops.tsum(ops.mul(out, Tensor(w))), [u], create_graph=True)
+        # the map is linear, so its gradient is a constant w.r.t. u: the
+        # create_graph backward correctly yields a graph-free tensor...
+        assert not g.requires_grad
+        # ...whose value equals the adjoint applied to the seed
+        (_, adjoint) = _make_env_linear_ops(env, batch, stats)
+        assert np.allclose(g.data, adjoint(Tensor(w)).data, atol=1e-12)
+
+
+class TestBatchSlicing:
+    def test_frame_slice_selfcontained(self, cu_dataset, small_cfg):
+        batch = make_batch(cu_dataset, np.arange(4), small_cfg)
+        sub = batch.frame_slice(2, 4)
+        assert sub.batch_size == 2
+        assert sub.idx_flat.min() >= 0
+        assert sub.idx_flat.max() < 2 * sub.n_atoms
+        stats = identity_stats()
+        full, _ = environment_np(batch.coords, batch, small_cfg, stats)
+        part, _ = environment_np(sub.coords, sub, small_cfg, stats)
+        assert np.allclose(part, full[2:4])
+
+    def test_make_batch_label_alignment(self, cu_dataset, small_cfg):
+        idx = np.array([3, 0, 5])
+        batch = make_batch(cu_dataset, idx, small_cfg)
+        assert np.array_equal(batch.energies, cu_dataset.energies[idx])
+        assert np.array_equal(batch.forces, cu_dataset.forces[idx])
+
+
+class TestStats:
+    def test_compute_stats_shapes_and_convention(self, cu_dataset, small_cfg):
+        stats = compute_stats(cu_dataset, small_cfg)
+        assert stats.davg.shape == (4,) and stats.dstd.shape == (4,)
+        assert np.allclose(stats.davg[1:], 0.0)  # angular columns unshifted
+        assert np.all(stats.dstd > 0)
+
+    def test_normalized_radial_column_standardized(self, cu_dataset, small_cfg):
+        stats = compute_stats(cu_dataset, small_cfg)
+        batch = make_batch(cu_dataset, np.arange(cu_dataset.n_frames), small_cfg)
+        rn, _ = environment_np(batch.coords, batch, small_cfg, stats)
+        vals = rn[..., 0][batch.mask]
+        assert abs(vals.mean()) < 0.2
+        assert vals.std() == pytest.approx(1.0, abs=0.25)

@@ -1,0 +1,111 @@
+"""Property-based physical invariances of the DeePMD descriptor/energy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import Dataset
+from repro.md import Cell
+from repro.model import DeePMD, DeePMDConfig, make_batch
+
+CFG = DeePMDConfig(
+    embedding_widths=(6, 6, 6), m_less=4, fitting_widths=(8, 8, 8),
+    rcut=3.2, rcut_smooth=2.0, nmax=10,
+)
+
+
+def _cluster_energy(model, coords, n_species_arr):
+    cell = Cell([60.0, 60.0, 60.0])
+    ds = Dataset(
+        "c", coords[None], np.zeros(1), np.zeros_like(coords)[None],
+        n_species_arr, cell,
+    )
+    return model.predict_energy(make_batch(ds, np.array([0]), CFG))[0]
+
+
+def _random_rotation(rng):
+    q = rng.normal(size=4)
+    q /= np.linalg.norm(q)
+    w, x, y, z = q
+    return np.array([
+        [1 - 2 * (y * y + z * z), 2 * (x * y - w * z), 2 * (x * z + w * y)],
+        [2 * (x * y + w * z), 1 - 2 * (x * x + z * z), 2 * (y * z - w * x)],
+        [2 * (x * z - w * y), 2 * (y * z + w * x), 1 - 2 * (x * x + y * y)],
+    ])
+
+
+@pytest.fixture(scope="module")
+def cluster_model():
+    rng = np.random.default_rng(0)
+    coords = 30.0 + rng.normal(scale=1.2, size=(7, 3))
+    ds = Dataset(
+        "c", coords[None], np.zeros(1), np.zeros((1, 7, 3)),
+        np.zeros(7, dtype=np.int64), Cell([60.0] * 3),
+    )
+    return DeePMD.for_dataset(ds, CFG, seed=3)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_energy_invariant_under_arbitrary_rotation(cluster_model, seed):
+    """The descriptor D = (R~^T G)^T (R~^T G<) is exactly SO(3)-invariant."""
+    rng = np.random.default_rng(seed)
+    coords = 30.0 + rng.normal(scale=1.2, size=(7, 3))
+    species = np.zeros(7, dtype=np.int64)
+    rot = _random_rotation(rng)
+    center = coords.mean(axis=0)
+    rotated = (coords - center) @ rot.T + center
+    e0 = _cluster_energy(cluster_model, coords, species)
+    e1 = _cluster_energy(cluster_model, rotated, species)
+    assert e0 == pytest.approx(e1, abs=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_forces_equivariant_under_rotation(cluster_model, seed):
+    """F(Rx) = R F(x)."""
+    rng = np.random.default_rng(seed)
+    coords = 30.0 + rng.normal(scale=1.2, size=(7, 3))
+    species = np.zeros(7, dtype=np.int64)
+    rot = _random_rotation(rng)
+    center = coords.mean(axis=0)
+    rotated = (coords - center) @ rot.T + center
+
+    def forces(c):
+        ds = Dataset("c", c[None], np.zeros(1), np.zeros((1, 7, 3)),
+                     species, Cell([60.0] * 3))
+        return cluster_model.predict(make_batch(ds, np.array([0]), CFG)).forces[0]
+
+    f0 = forces(coords)
+    f1 = forces(rotated)
+    assert np.allclose(f1, f0 @ rot.T, atol=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_energy_invariant_under_permutation(cluster_model, seed):
+    rng = np.random.default_rng(seed)
+    coords = 30.0 + rng.normal(scale=1.2, size=(7, 3))
+    species = np.zeros(7, dtype=np.int64)
+    perm = rng.permutation(7)
+    e0 = _cluster_energy(cluster_model, coords, species)
+    e1 = _cluster_energy(cluster_model, coords[perm], species)
+    assert e0 == pytest.approx(e1, abs=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_energy_extensive_for_far_separated_copies(cluster_model, seed):
+    """Two non-interacting copies have (about) twice the energy of one.
+
+    The energy-bias constant is per atom, so extensivity is exact for the
+    network part; we compare against the single-cluster energy doubled.
+    """
+    rng = np.random.default_rng(seed)
+    coords = 10.0 + rng.normal(scale=1.0, size=(5, 3))
+    single_sp = np.zeros(5, dtype=np.int64)
+    pair = np.concatenate([coords, coords + np.array([30.0, 0.0, 0.0])])
+    pair_sp = np.zeros(10, dtype=np.int64)
+    e1 = _cluster_energy(cluster_model, coords, single_sp)
+    e2 = _cluster_energy(cluster_model, pair, pair_sp)
+    assert e2 == pytest.approx(2 * e1, rel=1e-9, abs=1e-8)

@@ -1,0 +1,86 @@
+"""ParamStore: ordering, flatten/unflatten, layer grouping."""
+
+import numpy as np
+import pytest
+
+from repro.model import ParamStore
+
+
+def _store():
+    ps = ParamStore()
+    ps.add("w0", np.arange(6, dtype=np.float64).reshape(2, 3), layer=0)
+    ps.add("b0", np.array([1.0, 2.0, 3.0]), layer=0)
+    ps.add("w1", np.ones((3, 2)), layer=1)
+    return ps
+
+
+class TestBasics:
+    def test_num_params(self):
+        assert _store().num_params == 15
+
+    def test_duplicate_name_rejected(self):
+        ps = _store()
+        with pytest.raises(KeyError):
+            ps.add("w0", np.zeros(2), layer=2)
+
+    def test_get_set(self):
+        ps = _store()
+        ps["b0"] = np.array([9.0, 9.0, 9.0])
+        assert np.allclose(ps["b0"], 9.0)
+
+    def test_set_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            _store()["nope"] = np.zeros(1)
+
+    def test_set_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            _store()["b0"] = np.zeros(4)
+
+    def test_contains_and_names(self):
+        ps = _store()
+        assert "w1" in ps and "zz" not in ps
+        assert ps.names() == ["w0", "b0", "w1"]
+
+
+class TestFlattening:
+    def test_flatten_order(self):
+        flat = _store().flatten()
+        assert np.allclose(flat[:6], np.arange(6))
+        assert np.allclose(flat[6:9], [1.0, 2.0, 3.0])
+        assert np.allclose(flat[9:], 1.0)
+
+    def test_unflatten_roundtrip(self):
+        ps = _store()
+        flat = ps.flatten()
+        ps.unflatten(flat * 2.0)
+        assert np.allclose(ps["w0"], np.arange(6).reshape(2, 3) * 2)
+        assert np.allclose(ps.flatten(), flat * 2.0)
+
+    def test_unflatten_shape_check(self):
+        with pytest.raises(ValueError):
+            _store().unflatten(np.zeros(14))
+
+    def test_flatten_grads_with_missing(self):
+        ps = _store()
+        g = ps.flatten_grads({"b0": np.array([5.0, 5.0, 5.0])})
+        assert np.allclose(g[6:9], 5.0)
+        assert np.allclose(g[:6], 0.0) and np.allclose(g[9:], 0.0)
+
+    def test_entries_offsets_contiguous(self):
+        entries = _store().entries()
+        pos = 0
+        for e in entries:
+            assert e.offset == pos
+            pos += e.size
+
+
+class TestLayers:
+    def test_layer_sizes_groups_w_and_b(self):
+        assert _store().layer_sizes() == [(0, 9), (1, 6)]
+
+    def test_copy_is_deep(self):
+        ps = _store()
+        cp = ps.copy()
+        cp["b0"] = np.zeros(3)
+        assert not np.allclose(ps["b0"], 0.0)
+        assert cp.num_params == ps.num_params

@@ -1,0 +1,111 @@
+"""Smooth switching function: values, continuity, derivatives, graph parity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor, grad, ops
+from repro.model.smooth import poly_switch_np, smooth_graph, smooth_np
+
+RCS, RC = 3.0, 5.0
+
+
+class TestPolySwitch:
+    def test_endpoint_values(self):
+        p, _ = poly_switch_np(np.array([0.0, 1.0]))
+        assert p[0] == pytest.approx(1.0)
+        assert p[1] == pytest.approx(0.0)
+
+    def test_endpoint_slopes_zero(self):
+        _, dp = poly_switch_np(np.array([0.0, 1.0]))
+        assert np.allclose(dp, 0.0)
+
+    def test_monotone_decreasing(self):
+        u = np.linspace(0, 1, 200)
+        p, _ = poly_switch_np(u)
+        assert np.all(np.diff(p) <= 1e-12)
+
+    def test_derivative_matches_numeric(self):
+        u = np.linspace(0.05, 0.95, 30)
+        _, dp = poly_switch_np(u)
+        eps = 1e-7
+        num = (poly_switch_np(u + eps)[0] - poly_switch_np(u - eps)[0]) / (2 * eps)
+        assert np.allclose(dp, num, atol=1e-6)
+
+
+class TestSmoothNp:
+    def test_inner_region_is_inverse_r(self):
+        r = np.array([0.5, 1.0, 2.0, 2.9])
+        s, _ = smooth_np(r, RCS, RC)
+        assert np.allclose(s, 1.0 / r)
+
+    def test_outside_cutoff_zero(self):
+        s, ds = smooth_np(np.array([5.0, 6.0, 100.0]), RCS, RC)
+        assert np.allclose(s, 0.0) and np.allclose(ds, 0.0)
+
+    def test_continuity_at_rcs(self):
+        s_lo, _ = smooth_np(np.array([RCS - 1e-9]), RCS, RC)
+        s_hi, _ = smooth_np(np.array([RCS + 1e-9]), RCS, RC)
+        assert s_lo[0] == pytest.approx(s_hi[0], abs=1e-7)
+
+    def test_continuity_at_rc(self):
+        s_lo, _ = smooth_np(np.array([RC - 1e-9]), RCS, RC)
+        assert s_lo[0] == pytest.approx(0.0, abs=1e-7)
+
+    def test_derivative_continuity_at_boundaries(self):
+        for b in (RCS, RC):
+            _, d_lo = smooth_np(np.array([b - 1e-9]), RCS, RC)
+            _, d_hi = smooth_np(np.array([b + 1e-9]), RCS, RC)
+            assert d_lo[0] == pytest.approx(d_hi[0], abs=1e-6)
+
+    def test_derivative_matches_numeric(self):
+        r = np.linspace(0.5, 5.5, 60)
+        r = r[np.abs(r - RCS) > 1e-3]
+        r = r[np.abs(r - RC) > 1e-3]
+        _, ds = smooth_np(r, RCS, RC)
+        eps = 1e-7
+        num = (smooth_np(r + eps, RCS, RC)[0] - smooth_np(r - eps, RCS, RC)[0]) / (2 * eps)
+        assert np.allclose(ds, num, atol=1e-6)
+
+    def test_zero_distance_safe(self):
+        s, ds = smooth_np(np.array([0.0]), RCS, RC)
+        assert np.isfinite(s[0]) and np.isfinite(ds[0])
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.floats(0.1, 7.0))
+def test_smooth_nonnegative_and_bounded(r):
+    s, _ = smooth_np(np.array([r]), RCS, RC)
+    assert 0.0 <= s[0] <= 1.0 / min(r, RCS) + 1e-12
+
+
+class TestSmoothGraph:
+    def test_matches_numpy_implementation(self):
+        r = np.linspace(0.4, 6.0, 40)
+        mask = np.ones_like(r, dtype=bool)
+        s_np, _ = smooth_np(r, RCS, RC)
+        s_g = smooth_graph(Tensor(r), RCS, RC, mask)
+        assert np.allclose(s_g.data, s_np, atol=1e-12)
+
+    def test_masked_slots_are_zero(self):
+        r = np.array([1.0, 2.0, 3.5])
+        mask = np.array([True, False, True])
+        s_g = smooth_graph(Tensor(r), RCS, RC, mask)
+        assert s_g.data[1] == 0.0
+
+    def test_graph_gradient_matches_analytic(self):
+        r0 = np.array([1.2, 3.5, 4.7])
+        mask = np.ones(3, dtype=bool)
+        r = Tensor(r0, requires_grad=True)
+        s = smooth_graph(r, RCS, RC, mask)
+        (g,) = grad(ops.tsum(s), [r])
+        _, ds = smooth_np(r0, RCS, RC)
+        assert np.allclose(g.data, ds, atol=1e-10)
+
+    def test_no_nan_gradient_on_padded_zero_distance(self):
+        r0 = np.array([0.0, 2.0])
+        mask = np.array([False, True])
+        r = Tensor(r0, requires_grad=True)
+        s = smooth_graph(r, RCS, RC, mask)
+        (g,) = grad(ops.tsum(s), [r])
+        assert np.all(np.isfinite(g.data))

@@ -1,0 +1,108 @@
+"""Adam/SGD: schedule, prefactors, descent behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.model import make_batch
+from repro.optim import Adam, SGD, ExponentialDecay, LossConfig
+
+
+class TestSchedule:
+    def test_staircase_decay(self):
+        sch = ExponentialDecay(lr0=1e-3, rate=0.5, steps=10)
+        assert sch.lr(0) == 1e-3
+        assert sch.lr(9) == 1e-3
+        assert sch.lr(10) == pytest.approx(5e-4)
+        assert sch.lr(25) == pytest.approx(2.5e-4)
+
+    def test_prefactors_endpoints(self):
+        lc = LossConfig()
+        pe0, pf0 = lc.prefactors(1.0)
+        assert (pe0, pf0) == (0.02, 1000.0)
+        pe1, pf1 = lc.prefactors(0.0)
+        assert (pe1, pf1) == (1.0, 1.0)
+
+    def test_prefactors_interpolate(self):
+        pe, pf = LossConfig().prefactors(0.5)
+        assert pe == pytest.approx(0.51)
+        assert pf == pytest.approx(500.5)
+
+    def test_prefactors_clamped(self):
+        pe, _ = LossConfig().prefactors(2.0)
+        assert pe == 0.02
+
+
+class TestLossAndGrads:
+    def test_loss_components(self, cu_model, cu_batch):
+        adam = Adam(cu_model)
+        loss, grads, stats = adam.loss_and_grads(cu_batch)
+        assert loss > 0
+        assert set(grads) == set(cu_model.params.names())
+        assert stats["force_rmse"] > 0
+
+    def test_gradients_match_numeric(self, cu_model, cu_batch):
+        adam = Adam(cu_model)
+        _, grads, _ = adam.loss_and_grads(cu_batch)
+        name, idx = "fit0_b", (3,)
+        eps = 1e-6
+        orig = cu_model.params[name].copy()
+        w = orig.copy(); w[idx] += eps
+        cu_model.params[name] = w
+        lp = Adam(cu_model).loss_and_grads(cu_batch)[0]
+        w = orig.copy(); w[idx] -= eps
+        cu_model.params[name] = w
+        lm = Adam(cu_model).loss_and_grads(cu_batch)[0]
+        cu_model.params[name] = orig
+        assert grads[name][idx] == pytest.approx((lp - lm) / (2 * eps), rel=1e-4)
+
+
+class TestSteps:
+    def test_adam_decreases_loss_on_fixed_batch(self, cu_model, cu_batch):
+        adam = Adam(cu_model)
+        first = adam.step_batch(cu_batch)["loss"]
+        for _ in range(25):
+            last = adam.step_batch(cu_batch)["loss"]
+        assert last < first
+
+    def test_sgd_decreases_loss_on_fixed_batch(self, cu_model, cu_batch):
+        sgd = SGD(cu_model, schedule=ExponentialDecay(lr0=1e-6), batch_scale_lr=False)
+        first = sgd.step_batch(cu_batch)["loss"]
+        for _ in range(25):
+            last = sgd.step_batch(cu_batch)["loss"]
+        assert last < first
+
+    def test_sgd_momentum_accumulates(self, cu_model, cu_batch):
+        sgd = SGD(cu_model, momentum=0.9, schedule=ExponentialDecay(lr0=1e-5))
+        sgd.step_batch(cu_batch)
+        v1 = {k: v.copy() for k, v in sgd._velocity.items()}
+        sgd.step_batch(cu_batch)
+        assert any(
+            np.linalg.norm(sgd._velocity[k]) > np.linalg.norm(v1[k]) for k in v1
+        )
+
+    def test_batch_lr_scaling_applied(self, cu_model, cu_dataset, small_cfg):
+        adam = Adam(cu_model, batch_scale_lr=True)
+        batch = make_batch(cu_dataset, np.arange(4), small_cfg)
+        stats = adam.step_batch(batch)
+        assert stats["lr"] == pytest.approx(1e-3 * 2.0)
+
+    def test_batch_lr_scaling_disabled(self, cu_model, cu_dataset, small_cfg):
+        adam = Adam(cu_model, batch_scale_lr=False)
+        batch = make_batch(cu_dataset, np.arange(4), small_cfg)
+        assert adam.step_batch(batch)["lr"] == pytest.approx(1e-3)
+
+    def test_step_count_advances_schedule(self, cu_model, cu_batch):
+        adam = Adam(
+            cu_model,
+            schedule=ExponentialDecay(lr0=1e-3, rate=0.5, steps=2),
+            batch_scale_lr=False,
+        )
+        lrs = [adam.step_batch(cu_batch)["lr"] for _ in range(4)]
+        assert lrs[0] == lrs[1] == pytest.approx(1e-3)
+        assert lrs[2] == lrs[3] == pytest.approx(5e-4)
+
+    def test_adam_updates_all_parameters(self, cu_model, cu_batch):
+        before = {n: cu_model.params[n].copy() for n in cu_model.params.names()}
+        Adam(cu_model).step_batch(cu_batch)
+        changed = [n for n in before if not np.array_equal(before[n], cu_model.params[n])]
+        assert len(changed) == len(before)

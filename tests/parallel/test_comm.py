@@ -1,0 +1,105 @@
+"""Simulated communicator: ring-allreduce correctness and accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel import CostModel, SimCommunicator, allreduce_volume_bytes
+
+
+class TestRingAllreduce:
+    @pytest.mark.parametrize("world", [1, 2, 3, 4, 5, 8])
+    def test_matches_direct_sum(self, world):
+        rng = np.random.default_rng(world)
+        bufs = [rng.normal(size=23) for _ in range(world)]
+        comm = SimCommunicator(world)
+        out = comm.ring_allreduce(bufs)
+        ref = np.sum(bufs, axis=0)
+        assert len(out) == world
+        for o in out:
+            assert np.allclose(o, ref, atol=1e-12)
+
+    def test_replicas_bit_identical(self):
+        rng = np.random.default_rng(0)
+        bufs = [rng.normal(size=50) for _ in range(4)]
+        out = SimCommunicator(4).ring_allreduce(bufs)
+        for o in out[1:]:
+            assert np.array_equal(out[0], o)
+
+    def test_preserves_shape(self):
+        bufs = [np.ones((3, 4)) for _ in range(3)]
+        out = SimCommunicator(3).ring_allreduce(bufs)
+        assert out[0].shape == (3, 4)
+        assert np.allclose(out[0], 3.0)
+
+    def test_buffer_count_validated(self):
+        with pytest.raises(ValueError):
+            SimCommunicator(3).ring_allreduce([np.ones(4)] * 2)
+
+    def test_buffer_size_validated(self):
+        with pytest.raises(ValueError):
+            SimCommunicator(2).ring_allreduce([np.ones(4), np.ones(5)])
+
+    def test_single_rank_is_copy(self):
+        buf = np.arange(5.0)
+        out = SimCommunicator(1).ring_allreduce([buf])
+        assert np.array_equal(out[0], buf)
+        assert out[0] is not buf
+
+    @pytest.mark.parametrize("world", [2, 4, 7])
+    def test_ledger_matches_closed_form(self, world):
+        comm = SimCommunicator(world)
+        comm.ring_allreduce([np.ones(100) for _ in range(world)])
+        closed = allreduce_volume_bytes(100, world)
+        assert comm.ledger.bytes_sent_per_rank == pytest.approx(closed, rel=1e-9)
+        assert comm.ledger.steps == 2 * (world - 1)
+        assert comm.ledger.calls == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 6), st.integers(1, 60), st.integers(0, 10**6))
+def test_ring_allreduce_property(world, n, seed):
+    rng = np.random.default_rng(seed)
+    bufs = [rng.normal(size=n) for _ in range(world)]
+    out = SimCommunicator(world).ring_allreduce(bufs)
+    assert np.allclose(out[0], np.sum(bufs, axis=0), atol=1e-10)
+
+
+class TestOtherCollectives:
+    def test_scalar_allreduce(self):
+        comm = SimCommunicator(4)
+        assert comm.allreduce_scalar([1.0, 2.0, 3.0, 4.0]) == pytest.approx(10.0)
+        assert comm.ledger.calls == 1
+
+    def test_scalar_allreduce_validates(self):
+        with pytest.raises(ValueError):
+            SimCommunicator(3).allreduce_scalar([1.0])
+
+    def test_broadcast_replicates(self):
+        comm = SimCommunicator(3)
+        out = comm.broadcast(np.arange(4.0))
+        assert len(out) == 3
+        assert all(np.array_equal(o, np.arange(4.0)) for o in out)
+        out[0][0] = 99.0
+        assert out[1][0] == 0.0  # independent copies
+
+
+class TestCostModel:
+    def test_alpha_beta_formula(self):
+        cm = CostModel(latency_s=1e-5, bandwidth_Bps=1e9)
+        assert cm.time(1e6, 10) == pytest.approx(10e-5 + 1e-3)
+
+    def test_modeled_time_accumulates(self):
+        comm = SimCommunicator(4, CostModel(latency_s=1e-6, bandwidth_Bps=1e9))
+        before = comm.modeled_time_s
+        comm.ring_allreduce([np.ones(1000) for _ in range(4)])
+        assert comm.modeled_time_s > before
+
+    def test_volume_zero_for_single_rank(self):
+        assert allreduce_volume_bytes(1000, 1) == 0.0
+
+    def test_volume_monotone_in_world_size(self):
+        vols = [allreduce_volume_bytes(1000, r) for r in (2, 4, 8, 16)]
+        assert vols == sorted(vols)
+        # asymptotically approaches 2 * payload
+        assert vols[-1] < 2 * 8000

@@ -1,0 +1,73 @@
+"""Cluster topology graphs and cost-model derivation."""
+
+import networkx as nx
+import pytest
+
+from repro.parallel import (
+    ClusterSpec,
+    build_fat_tree,
+    cluster_for_gpus,
+    cost_model_for,
+    ring_hops,
+    ring_order,
+)
+
+
+class TestFatTree:
+    def test_node_and_gpu_counts(self):
+        g = build_fat_tree(3, gpus_per_node=4)
+        gpus = [n for n, d in g.nodes(data=True) if d["kind"] == "gpu"]
+        switches = [n for n, d in g.nodes(data=True) if d["kind"] == "switch"]
+        assert len(gpus) == 12
+        assert len(switches) == 4  # 3 leaf + 1 core
+
+    def test_connected(self):
+        assert nx.is_connected(build_fat_tree(4))
+
+    def test_intra_node_distance(self):
+        g = build_fat_tree(2)
+        assert nx.shortest_path_length(g, "gpu0.0", "gpu0.1") == 2
+
+    def test_inter_node_distance(self):
+        g = build_fat_tree(2)
+        assert nx.shortest_path_length(g, "gpu0.0", "gpu1.0") == 4
+
+    def test_cluster_for_gpus_trims(self):
+        g = cluster_for_gpus(6)
+        assert len(ring_order(g)) == 6
+
+    def test_cluster_for_gpus_exact_nodes(self):
+        g = cluster_for_gpus(16)
+        assert len(ring_order(g)) == 16
+
+
+class TestRing:
+    def test_ring_order_fills_nodes_first(self):
+        order = ring_order(build_fat_tree(2))
+        assert order[:4] == ["gpu0.0", "gpu0.1", "gpu0.2", "gpu0.3"]
+
+    def test_ring_hops_single_node(self):
+        hops = ring_hops(cluster_for_gpus(4))
+        assert max(hops) == 2  # never leaves the node switch
+
+    def test_ring_hops_multi_node(self):
+        hops = ring_hops(cluster_for_gpus(8))
+        assert max(hops) == 4  # crosses the core
+
+
+class TestCostDerivation:
+    def test_single_node_uses_fast_links(self):
+        spec = ClusterSpec()
+        cm = cost_model_for(cluster_for_gpus(4), spec)
+        assert cm.bandwidth_Bps == spec.intra_node_bandwidth_Bps
+
+    def test_multi_node_uses_fabric(self):
+        spec = ClusterSpec()
+        cm = cost_model_for(cluster_for_gpus(16), spec)
+        assert cm.bandwidth_Bps == spec.inter_node_bandwidth_Bps
+
+    def test_latency_scales_with_hops(self):
+        spec = ClusterSpec()
+        cm4 = cost_model_for(cluster_for_gpus(4), spec)
+        cm16 = cost_model_for(cluster_for_gpus(16), spec)
+        assert cm16.latency_s > cm4.latency_s

@@ -1,0 +1,56 @@
+"""Memory accounting: the Sec. 5.3 arithmetic and measured transients."""
+
+import numpy as np
+import pytest
+
+from repro.perf import footprint_report, measured_update_peak, paper_layer_sizes
+
+
+class TestPaperArithmetic:
+    def test_paper_block_structure(self):
+        rep = footprint_report(paper_layer_sizes(), 10240)
+        assert rep.num_params == 26551  # paper reports 26651
+        assert rep.block_shapes[0] == 1350
+        assert rep.block_shapes[1] == 10240
+        assert len(rep.block_shapes) == 4
+
+    def test_p_resident_near_paper_value(self):
+        rep = footprint_report(paper_layer_sizes(), 10240)
+        assert rep.p_resident_mb == pytest.approx(1755, rel=0.02)  # paper: 1755 MB
+
+    def test_naive_peak_near_paper_value(self):
+        rep = footprint_report(paper_layer_sizes(), 10240)
+        assert rep.naive_peak_mb == pytest.approx(3405, rel=0.05)  # paper: ~3405 MB
+
+    def test_fused_peak_near_paper_value(self):
+        rep = footprint_report(paper_layer_sizes(), 10240)
+        assert rep.fused_peak_mb == pytest.approx(1805, rel=0.05)  # paper: 1805 MB
+
+    def test_peak_ordering(self):
+        rep = footprint_report(paper_layer_sizes(), 10240)
+        assert rep.fused_peak_mb < rep.naive_peak_mb
+        assert rep.p_resident_mb < rep.fused_peak_mb
+
+    def test_rows_rendering(self):
+        rep = footprint_report(paper_layer_sizes(), 10240)
+        labels = [k for k, _ in rep.rows()]
+        assert "P resident" in labels
+
+
+class TestMeasuredTransients:
+    LAYERS = [(0, 700), (1, 300), (2, 64)]
+
+    def test_naive_transient_scales_with_block_sq(self):
+        peak = measured_update_peak(self.LAYERS, 512, fused=False)
+        # at least one 512x512 float64 temporary = 2 MB
+        assert peak > 512 * 512 * 8 / (1024 * 1024)
+
+    def test_fused_transient_tiny(self):
+        naive = measured_update_peak(self.LAYERS, 512, fused=False)
+        fused = measured_update_peak(self.LAYERS, 512, fused=True)
+        assert fused < naive / 5
+
+    def test_footprint_scales_with_blocksize(self):
+        small = footprint_report(self.LAYERS, 128)
+        large = footprint_report(self.LAYERS, 1024)
+        assert small.p_resident_mb < large.p_resident_mb

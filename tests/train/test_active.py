@@ -1,0 +1,111 @@
+"""Ensemble uncertainty + the active-learning loop."""
+
+import numpy as np
+import pytest
+
+from repro.data import SYSTEMS
+from repro.model import DeePMD, DeePMDConfig, ModelEnsemble, make_batch
+from repro.train import ActiveLearner, ActiveLearningConfig
+
+
+@pytest.fixture(scope="module")
+def ensemble(cu_dataset, small_cfg):
+    return ModelEnsemble.for_dataset(cu_dataset, small_cfg, n_models=3, seed=1)
+
+
+class TestEnsemble:
+    def test_needs_models(self):
+        with pytest.raises(ValueError):
+            ModelEnsemble([])
+
+    def test_mixed_architectures_rejected(self, cu_dataset, small_cfg, tiny_cfg):
+        a = DeePMD.for_dataset(cu_dataset, small_cfg, seed=1)
+        b = DeePMD.for_dataset(cu_dataset, tiny_cfg, seed=2)
+        with pytest.raises(ValueError):
+            ModelEnsemble([a, b])
+
+    def test_prediction_shapes(self, ensemble, cu_dataset, small_cfg):
+        batch = make_batch(cu_dataset, np.arange(3), small_cfg)
+        out = ensemble.predict(batch)
+        assert out.energy.shape == (3,)
+        assert out.forces.shape == batch.coords.shape
+        assert out.max_force_dev.shape == (3,)
+
+    def test_mean_is_member_average(self, ensemble, cu_dataset, small_cfg):
+        batch = make_batch(cu_dataset, np.arange(2), small_cfg)
+        out = ensemble.predict(batch)
+        members = np.stack([m.predict(batch, fused_env=True).energy for m in ensemble.models])
+        assert np.allclose(out.energy, members.mean(axis=0))
+
+    def test_identical_members_zero_deviation(self, cu_dataset, small_cfg):
+        m = DeePMD.for_dataset(cu_dataset, small_cfg, seed=1)
+        twin = DeePMD.for_dataset(cu_dataset, small_cfg, seed=2)
+        twin.load_state_dict(m.state_dict())
+        ens = ModelEnsemble([m, twin])
+        batch = make_batch(cu_dataset, np.arange(2), small_cfg)
+        out = ens.predict(batch)
+        assert np.allclose(out.max_force_dev, 0.0, atol=1e-12)
+        assert np.allclose(out.energy_std, 0.0, atol=1e-12)
+
+    def test_different_members_positive_deviation(self, ensemble, cu_dataset, small_cfg):
+        batch = make_batch(cu_dataset, np.arange(2), small_cfg)
+        assert np.all(ensemble.max_force_deviation(batch) > 0)
+
+
+class TestActiveLearner:
+    @pytest.fixture()
+    def learner(self, cu_dataset, small_cfg):
+        ens = ModelEnsemble.for_dataset(cu_dataset, small_cfg, n_models=2, seed=1)
+        spec = SYSTEMS["Cu"]
+        pos, cell, sp, pot = spec.build("small")
+        return ActiveLearner(
+            ens, pot, sp, spec.masses(sp), cell,
+            ActiveLearningConfig(md_steps=30, sample_every=10, epochs_per_round=1,
+                                 max_new_frames=4),
+            initial_data=cu_dataset,
+            seed=0,
+        )
+
+    def test_warm_start_trains_on_initial_data(self, learner, cu_dataset):
+        assert learner.labeled is cu_dataset
+        assert all(opt.kalman.updates > 0 for opt in learner.optimizers)
+
+    def test_round_accumulates_labeled_data(self, learner, cu_dataset):
+        before = learner.labeled.n_frames
+        stats = learner.run_round(cu_dataset.positions[0], 400.0)
+        assert learner.labeled.n_frames == before + stats.n_selected
+        assert stats.n_candidates == 3
+
+    def test_selection_respects_cap(self, learner, cu_dataset):
+        stats = learner.run_round(cu_dataset.positions[0], 400.0)
+        assert stats.n_selected <= 4
+
+    def test_labels_come_from_reference(self, learner, cu_dataset):
+        learner.run_round(cu_dataset.positions[0], 400.0)
+        new = learner.labeled
+        t = new.n_frames - 1
+        e, f = learner.reference.energy_forces(new.positions[t], learner.cell)
+        assert new.energies[t] == pytest.approx(e)
+        assert np.allclose(new.forces[t], f)
+
+    def test_history_grows(self, learner, cu_dataset):
+        learner.run_round(cu_dataset.positions[0], 400.0)
+        learner.run_round(cu_dataset.positions[1], 600.0)
+        assert [s.round_index for s in learner.history] == [1, 2]
+        assert learner.history[1].temperature == 600.0
+
+    def test_selection_band_filters(self, cu_dataset, small_cfg):
+        ens = ModelEnsemble.for_dataset(cu_dataset, small_cfg, n_models=2, seed=1)
+        spec = SYSTEMS["Cu"]
+        pos, cell, sp, pot = spec.build("small")
+        # impossible band -> nothing selected, nothing labeled
+        al = ActiveLearner(
+            ens, pot, sp, spec.masses(sp), cell,
+            ActiveLearningConfig(md_steps=20, sample_every=10, select_lo=1e9,
+                                 select_hi=2e9, epochs_per_round=1),
+            initial_data=cu_dataset, seed=0,
+        )
+        before = al.labeled.n_frames
+        stats = al.run_round(cu_dataset.positions[0], 300.0)
+        assert stats.n_selected == 0
+        assert al.labeled.n_frames == before

@@ -1,0 +1,68 @@
+"""Metrics export/import and epochs-to-error queries."""
+
+import numpy as np
+import pytest
+
+from repro.train import TrainResult
+from repro.train.metrics import epochs_to_error, read_history, summarize, write_history
+from repro.train.trainer import EpochRecord
+
+
+def _result():
+    res = TrainResult()
+    for e, te, tf in [(1, 0.5, 1.0), (2, 0.2, 0.6), (3, 0.05, 0.3), (4, 0.06, 0.25)]:
+        res.history.append(
+            EpochRecord(
+                epoch=e, train_energy_rmse=te, train_force_rmse=tf,
+                test_energy_rmse=te * 1.1, test_force_rmse=tf * 1.1,
+                wall_time=float(e), train_time=float(e) * 0.8,
+            )
+        )
+    res.total_train_time = 3.2
+    res.total_wall_time = 4.0
+    return res
+
+
+class TestHistoryIO:
+    def test_roundtrip(self, tmp_path):
+        res = _result()
+        path = str(tmp_path / "epoch_train.dat")
+        write_history(res, path)
+        back = read_history(path)
+        assert len(back.history) == 4
+        for a, b in zip(res.history, back.history):
+            assert a.train_energy_rmse == pytest.approx(b.train_energy_rmse)
+            assert a.train_time == pytest.approx(b.train_time, abs=1e-4)
+
+    def test_header_comment(self, tmp_path):
+        path = str(tmp_path / "h.dat")
+        write_history(_result(), path)
+        first = open(path).readline()
+        assert first.startswith("#") and "train_energy_rmse" in first
+
+    def test_single_row_file(self, tmp_path):
+        res = TrainResult()
+        res.history.append(EpochRecord(1, 0.1, 0.2, 0.1, 0.2, 1.0, 0.5))
+        path = str(tmp_path / "one.dat")
+        write_history(res, path)
+        assert len(read_history(path).history) == 1
+
+
+class TestQueries:
+    def test_epochs_to_error(self):
+        res = _result()
+        assert epochs_to_error(res, 0.21, "energy") == 2
+        assert epochs_to_error(res, 0.05, "energy") == 3
+        assert epochs_to_error(res, 0.01, "energy") is None
+        assert epochs_to_error(res, 0.3, "force") == 3
+
+    def test_test_split_query(self):
+        res = _result()
+        assert epochs_to_error(res, 0.3, "energy", split="test") == 2
+
+    def test_summarize(self):
+        s = summarize(_result())
+        assert s["best_epoch"] == 4  # 0.06+0.25 < 0.05+0.30
+        assert s["best_train_total"] == pytest.approx(0.31)
+        assert s["generalization_gap"] == pytest.approx(0.031)
+        assert s["epochs"] == 4
