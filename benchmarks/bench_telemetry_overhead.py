@@ -1,0 +1,67 @@
+"""Telemetry overhead smoke check: tracing must stay under 5% of a run.
+
+The telemetry design promise (see ``repro.telemetry.trace``) is that the
+instrumentation is effectively free: with no tracer installed every
+``span()`` call is one module-global check, and even a live tracer only
+pays a couple of clock reads per span -- negligible next to the numpy
+work inside ``step_batch``.  CI runs this to keep that promise honest.
+"""
+
+import time
+
+import numpy as np
+
+from repro.model import DeePMD, make_batch
+from repro.optim import make_optimizer
+from repro.telemetry import Tracer
+from repro.train import Trainer
+
+
+def _run_once(cu_data, cfg, tracer=None):
+    model = DeePMD.for_dataset(cu_data, cfg, seed=1)
+    opt = make_optimizer("fekf", model, blocksize=2048, fused_update=True,
+                         fused_env=True)
+    trainer = Trainer(model, opt, cu_data, None, batch_size=8, seed=0,
+                      eval_frames=4)
+    t0 = time.perf_counter()
+    if tracer is not None:
+        with tracer:
+            trainer.run(max_epochs=2)
+    else:
+        trainer.run(max_epochs=2)
+    return time.perf_counter() - t0
+
+
+def test_tracing_overhead_under_5_percent(cu_data, cfg):
+    # interleave and keep the best of 3 per mode so machine noise and
+    # cache warm-up hit both sides equally
+    off = min(_run_once(cu_data, cfg) for _ in range(3))
+    on = min(
+        _run_once(cu_data, cfg, Tracer(keep_events=False)) for _ in range(3)
+    )
+    overhead = on / off - 1.0
+    assert overhead < 0.05, (
+        f"tracing overhead {overhead:.1%} (off {off:.3f}s, on {on:.3f}s) "
+        "exceeds the 5% budget"
+    )
+
+
+def test_disabled_span_fast_path(benchmark):
+    """The no-tracer path must be nanoseconds: one truthiness check."""
+    from repro.telemetry import span
+
+    def spin():
+        for _ in range(1000):
+            with span("noop"):
+                pass
+
+    benchmark(spin)
+
+
+def test_events_flow_during_training(cu_data, cfg):
+    with Tracer() as tr:
+        _run_once(cu_data, cfg, tracer=None)  # tracer already installed
+    names = {e.name for e in tr.events}
+    assert {"train.run", "train.step", "train.eval",
+            "fekf.update", "fekf.forward", "fekf.gradient",
+            "fekf.kalman"} <= names

@@ -10,7 +10,7 @@ Run:  python examples/compare_optimizers.py [system]
 import sys
 import time
 
-from repro import Adam, DeePMD, FEKF, KalmanConfig, RLEKF, Trainer, generate_dataset
+from repro import Trainer, make_optimizer
 from repro.harness.common import experiment_setup, scaled_adam
 
 
@@ -32,14 +32,14 @@ def main() -> None:
     system = sys.argv[1] if len(sys.argv) > 1 else "Cu"
     print(f"System: {system}")
     setup = experiment_setup(system, frames_per_temperature=24)
-    kcfg = KalmanConfig(blocksize=2048, fused_update=True)
+    ekf = dict(blocksize=2048, fused_update=True, fused_env=True)
 
     run_one("Adam", setup,
             lambda m: scaled_adam(m, setup.train.n_frames, 20), 1, 20)
     run_one("RLEKF", setup,
-            lambda m: RLEKF(m, kcfg, fused_env=True), 1, 3)
+            lambda m: make_optimizer("rlekf", m, **ekf), 1, 3)
     run_one("FEKF", setup,
-            lambda m: FEKF(m, kcfg, fused_env=True), 16, 8)
+            lambda m: make_optimizer("fekf", m, **ekf), 16, 8)
     print("\nExpected shape (paper Fig. 7a): both EKF variants reach a better "
           "RMSE than Adam in a fraction of the epochs; FEKF does it with "
           "16x fewer Kalman updates per data pass than RLEKF.")

@@ -14,7 +14,7 @@ Run:  python examples/online_learning.py
 
 import numpy as np
 
-from repro import DeePMD, DeePMDConfig, FEKF, KalmanConfig, Trainer
+from repro import Callback, DeePMD, DeePMDConfig, Trainer, make_optimizer
 from repro.data import SYSTEMS, Dataset
 from repro.md import sample_trajectory
 
@@ -28,14 +28,28 @@ def sample_at(temp: float, n_frames: int, seed: int) -> Dataset:
     return Dataset.from_trajectory(f"Cu@{temp:.0f}K", traj)
 
 
+class FilterWatcher(Callback):
+    """Trainer-event-API demo: watch the Kalman memory factor decay as
+    the same filter digests each data arrival."""
+
+    def __init__(self):
+        self.steps = 0
+        self.lam = None
+
+    def on_step_end(self, info):
+        self.steps += 1
+        self.lam = info.stats.get("lambda", self.lam)
+
+
 def main() -> None:
     arrivals = [(400.0, 0), (800.0, 1), (1200.0, 2)]
     datasets = {t: sample_at(t, 20, seed) for t, seed in arrivals}
 
     cfg = DeePMDConfig.scaled_down(rcut=4.0, nmax=18)
     model = DeePMD.for_dataset(datasets[400.0], cfg, seed=1)
-    optimizer = FEKF(model, KalmanConfig(blocksize=2048, fused_update=True),
-                     fused_env=True)
+    optimizer = make_optimizer("fekf", model, blocksize=2048,
+                               fused_update=True, fused_env=True)
+    watcher = FilterWatcher()
 
     def report(stage: str) -> None:
         rmse = {t: model.evaluate_rmse(ds, max_frames=10)["total_rmse"]
@@ -47,10 +61,12 @@ def main() -> None:
     report("untrained")
     for temp, _ in arrivals:
         Trainer(model, optimizer, datasets[temp], None,
-                batch_size=4, seed=0).run(max_epochs=4)
+                batch_size=4, seed=0).run(max_epochs=4, callbacks=[watcher])
         report(f"after fine-tune on {temp:.0f}K")
 
-    print("\nThe same filter state carried through all three arrivals: no "
+    print(f"\nFilter digested {watcher.steps} minibatches across all three "
+          f"arrivals (memory factor lambda now {watcher.lam:.4f}).")
+    print("The same filter state carried through all three arrivals: no "
           "hyperparameter retuning, no optimizer reset -- the paper's "
           "'one step toward online training'.")
 

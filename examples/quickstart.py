@@ -7,7 +7,7 @@ force RMSE on a held-out test split.
 Run:  python examples/quickstart.py
 """
 
-from repro import DeePMD, DeePMDConfig, FEKF, KalmanConfig, Trainer, generate_dataset
+from repro import ConsoleCallback, DeePMD, DeePMDConfig, Trainer, generate_dataset, make_optimizer
 
 
 def main() -> None:
@@ -24,14 +24,14 @@ def main() -> None:
           f"(embedding {cfg.embedding_widths}, M<={cfg.m_less}, "
           f"fitting {cfg.fitting_widths})")
 
-    optimizer = FEKF(
-        model,
-        KalmanConfig(blocksize=2048, fused_update=True),  # Opt3 kernels
+    optimizer = make_optimizer(
+        "fekf", model,
+        blocksize=2048, fused_update=True,  # Opt3 kernels
         fused_env=True,  # Opt1 hand-derived descriptor kernel
     )
     trainer = Trainer(model, optimizer, train, test, batch_size=8, seed=0)
     print("Training with FEKF (1 energy + 4 force Kalman updates per batch)...")
-    result = trainer.run(max_epochs=8, verbose=True)
+    result = trainer.run(max_epochs=8, callbacks=[ConsoleCallback()])
 
     best = min(result.history, key=lambda r: r.train_total)
     print(f"\nDone in {result.total_train_time:.1f}s of optimizer time.")

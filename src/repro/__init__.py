@@ -10,25 +10,25 @@ of the paper's evaluation.
 
 Quickstart::
 
-    from repro import generate_dataset, DeePMD, DeePMDConfig, FEKF, Trainer
-    from repro.optim import KalmanConfig
+    from repro import generate_dataset, DeePMD, DeePMDConfig, Trainer, make_optimizer
 
     data = generate_dataset("Cu", frames_per_temperature=32, size="small")
     train, test = data.split(0.8)
     model = DeePMD.for_dataset(train, DeePMDConfig.scaled_down(rcut=4.0))
-    opt = FEKF(model, KalmanConfig(blocksize=2048, fused_update=True),
-               fused_env=True)
+    opt = make_optimizer("fekf", model, blocksize=2048, fused_update=True,
+                         fused_env=True)
     Trainer(model, opt, train, test, batch_size=32).run(max_epochs=10)
     print(model.evaluate_rmse(test))
 """
 
+from . import telemetry
 from .autograd import KernelCounter, Tensor, grad, no_grad
 from .data import BatchLoader, Dataset, SYSTEMS, generate_dataset, load_dataset, save_dataset
 from .model import DeePMD, DeePMDConfig, make_batch
 from .model.calculator import DeePMDCalculator
-from .optim import FEKF, Adam, KalmanConfig, NaiveEKF, RLEKF, SGD
+from .optim import FEKF, Adam, KalmanConfig, NaiveEKF, Optimizer, RLEKF, SGD, make_optimizer
 from .parallel import DistributedFEKF, SimCommunicator
-from .train import TargetCriterion, Trainer, TrainResult
+from .train import Callback, ConsoleCallback, TargetCriterion, Trainer, TrainResult
 
 __version__ = "1.0.0"
 
@@ -53,10 +53,15 @@ __all__ = [
     "Adam",
     "SGD",
     "KalmanConfig",
+    "Optimizer",
+    "make_optimizer",
     "DistributedFEKF",
     "SimCommunicator",
     "Trainer",
     "TrainResult",
     "TargetCriterion",
+    "Callback",
+    "ConsoleCallback",
+    "telemetry",
     "__version__",
 ]

@@ -25,9 +25,13 @@ from typing import Optional
 _ACTIVE: list["KernelCounter"] = []
 
 
-@dataclass
+@dataclass(eq=False)
 class KernelCounter:
     """Counts primitive op executions ("kernel launches") and output bytes.
+
+    Identity (not value) equality: counters are mutable accumulators and
+    may nest -- two counters opened back-to-back hold identical tallies,
+    and the ``_ACTIVE`` bookkeeping must never confuse them.
 
     Use as a context manager::
 
@@ -61,7 +65,10 @@ class KernelCounter:
         return self
 
     def __exit__(self, *exc) -> None:
-        _ACTIVE.remove(self)
+        for i in range(len(_ACTIVE) - 1, -1, -1):
+            if _ACTIVE[i] is self:
+                del _ACTIVE[i]
+                break
 
     def breakdown(self, top: int = 10) -> list[tuple[str, int]]:
         """The ``top`` most-launched op names, descending."""

@@ -21,7 +21,8 @@ from ..data.systems import SYSTEMS, generate_dataset
 from ..md.neighbor import max_neighbor_count
 from ..model.config import DeePMDConfig
 from ..model.network import DeePMD
-from ..optim.first_order import Adam, ExponentialDecay
+from ..optim.base import make_optimizer
+from ..optim.first_order import Adam
 from ..optim.kalman import KalmanConfig
 
 
@@ -152,9 +153,12 @@ def scaled_adam(
     """
     total = max(steps_per_epoch * planned_epochs, 1)
     decay_steps = max(total // 200, 10)
-    return Adam(
+    return make_optimizer(
+        "adam",
         model,
-        schedule=ExponentialDecay(lr0=1e-3, rate=0.95, steps=decay_steps),
+        lr0=1e-3,
+        decay_rate=0.95,
+        decay_steps=decay_steps,
         batch_scale_lr=batch_scale_lr,
     )
 

@@ -1,12 +1,25 @@
-"""repro.optim -- optimizers: Adam/SGD baselines and the EKF family."""
+"""repro.optim -- optimizers: Adam/SGD baselines and the EKF family.
+
+Construct by name through the single factory surface::
+
+    from repro.optim import make_optimizer
+    opt = make_optimizer("fekf", model, blocksize=2048, fused_update=True)
+
+Every optimizer satisfies the :class:`Optimizer` protocol
+(``step_batch`` / ``state_dict`` / ``load_state_dict`` / ``hyperparams``).
+"""
 
 from .checkpoint import load_checkpoint, save_checkpoint
+from .base import OPTIMIZER_NAMES, Optimizer, make_optimizer
 from .blocks import Block, block_shapes, p_memory_bytes, split_blocks, validate_blocks
 from .ekf import FEKF, NaiveEKF, RLEKF, UpdateStats
 from .first_order import SGD, Adam, ExponentialDecay, FirstOrderOptimizer, LossConfig
 from .kalman import KalmanConfig, KalmanState
 
 __all__ = [
+    "Optimizer",
+    "OPTIMIZER_NAMES",
+    "make_optimizer",
     "Block",
     "split_blocks",
     "block_shapes",

@@ -3,8 +3,14 @@
 The online-learning workflow of Figure 1 retrains the same model dozens of
 times as new configurations arrive.  Because FEKF's power comes from its
 filter state (P, lambda), resuming a retraining session must restore the
-*optimizer*, not just the weights.  These helpers serialize model +
-optimizer together in one npz file.
+*optimizer*, not just the weights.
+
+These helpers are now thin shims over the ``Optimizer`` protocol's
+``state_dict()`` / ``load_state_dict()`` (see :mod:`repro.optim.base`):
+one npz file holds ``model/<key>`` entries plus whatever flat arrays the
+optimizer reports.  The on-disk keys for FEKF are unchanged from the
+pre-protocol era, so old checkpoint files remain loadable.  New code that
+wants custom storage should call ``optimizer.state_dict()`` directly.
 """
 
 from __future__ import annotations
@@ -14,34 +20,30 @@ import os
 import numpy as np
 
 from ..model.network import DeePMD
-from .ekf import FEKF
-from .kalman import KalmanState
 
 
-def save_checkpoint(path: str, model: DeePMD, optimizer: FEKF | None = None) -> None:
-    """Write model weights (+ stats/bias) and, optionally, the full Kalman
-    filter state to ``path``."""
+def save_checkpoint(path: str, model: DeePMD, optimizer=None) -> None:
+    """Write model weights (+ stats/bias) and, optionally, the full
+    optimizer state (via its ``state_dict()``) to ``path``."""
     os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
     payload: dict[str, np.ndarray] = {}
     for k, v in model.state_dict().items():
         payload[f"model/{k}"] = v
     if optimizer is not None:
-        k_state = optimizer.kalman
-        payload["kalman/lam"] = np.array(k_state.lam)
-        payload["kalman/updates"] = np.array(k_state.updates)
-        payload["kalman/p_scales"] = np.array(k_state.p_scales)
-        payload["kalman/fused"] = np.array(int(k_state.cfg.fused_update))
-        for i, p in enumerate(k_state.p_mats):
-            payload[f"kalman/p{i}"] = p
+        opt_state = optimizer.state_dict()
+        clash = [k for k in opt_state if k.startswith("model/")]
+        if clash:
+            raise ValueError(f"optimizer state keys collide with model/: {clash}")
+        payload.update(opt_state)
     np.savez_compressed(path, **payload)
 
 
-def load_checkpoint(path: str, model: DeePMD, optimizer: FEKF | None = None) -> None:
+def load_checkpoint(path: str, model: DeePMD, optimizer=None) -> None:
     """Restore a checkpoint written by :func:`save_checkpoint` into an
     already-constructed model (and optimizer, when present in the file).
 
-    The optimizer's block structure and fused/naive storage layout must
-    match the checkpoint (same network and KalmanConfig); mismatches raise.
+    The optimizer's structure must match the checkpoint (same network and
+    configuration); its ``load_state_dict`` raises on mismatches.
     """
     with np.load(path, allow_pickle=False) as z:
         model.load_state_dict(
@@ -49,24 +51,7 @@ def load_checkpoint(path: str, model: DeePMD, optimizer: FEKF | None = None) -> 
         )
         if optimizer is None:
             return
-        if "kalman/lam" not in z.files:
+        opt_state = {k: z[k] for k in z.files if not k.startswith("model/")}
+        if not opt_state:
             raise KeyError(f"{path} holds no optimizer state")
-        k_state: KalmanState = optimizer.kalman
-        if bool(z["kalman/fused"]) != k_state.cfg.fused_update:
-            raise ValueError(
-                "checkpoint P storage layout (fused vs naive) does not match "
-                "the optimizer's KalmanConfig"
-            )
-        n_blocks = len(k_state.p_mats)
-        for i in range(n_blocks):
-            key = f"kalman/p{i}"
-            if key not in z.files or z[key].shape != k_state.p_mats[i].shape:
-                raise ValueError("checkpoint block structure does not match")
-        for i in range(n_blocks):
-            arr = z[f"kalman/p{i}"]
-            k_state.p_mats[i] = (
-                np.asfortranarray(arr) if k_state.cfg.fused_update else np.array(arr)
-            )
-        k_state.p_scales = [float(c) for c in z["kalman/p_scales"]]
-        k_state.lam = float(z["kalman/lam"])
-        k_state.updates = int(z["kalman/updates"])
+        optimizer.load_state_dict(opt_state)

@@ -32,6 +32,8 @@ import numpy as np
 from ..autograd import Tensor, grad, ops
 from ..model.environment import DescriptorBatch
 from ..model.network import DeePMD
+from ..telemetry import metrics as _metrics
+from ..telemetry.trace import span as _span
 from .kalman import KalmanConfig, KalmanState
 
 
@@ -114,27 +116,33 @@ class FEKF:
     def _energy_gradient(self, batch: DescriptorBatch) -> tuple[np.ndarray, float]:
         """Reduced per-atom-energy gradient E(g) and ABE for the batch."""
         model = self.model
-        p = model.param_tensors()
-        e = model.energy_graph(Tensor(batch.coords), batch, p=p, fused_env=self.fused_env)
-        n = batch.n_atoms
-        err = (batch.energies - e.data) / n
-        abe = float(np.mean(np.abs(err)))
-        weights = _signs(err) / (n * batch.batch_size)
-        scalar = ops.tsum(ops.mul(e, Tensor(weights)))
-        gs = grad(scalar, self._param_list(p))
-        g_flat = self.model.params.flatten_grads(
-            {name: g.data for name, g in zip(model.params.names(), gs)}
-        )
+        with _span("fekf.forward"):
+            p = model.param_tensors()
+            e = model.energy_graph(
+                Tensor(batch.coords), batch, p=p, fused_env=self.fused_env
+            )
+            n = batch.n_atoms
+            err = (batch.energies - e.data) / n
+            abe = float(np.mean(np.abs(err)))
+        with _span("fekf.gradient"):
+            weights = _signs(err) / (n * batch.batch_size)
+            scalar = ops.tsum(ops.mul(e, Tensor(weights)))
+            gs = grad(scalar, self._param_list(p))
+            g_flat = self.model.params.flatten_grads(
+                {name: g.data for name, g in zip(model.params.names(), gs)}
+            )
         return g_flat, abe
 
     def _force_graph(self, batch: DescriptorBatch):
         """Build the differentiable force predictions F = -dE/dr."""
         model = self.model
-        p = model.param_tensors()
-        coords = Tensor(batch.coords, requires_grad=True)
-        e = model.energy_graph(coords, batch, p=p, fused_env=self.fused_env)
-        (gc,) = grad(ops.tsum(e), [coords], create_graph=True)
-        return ops.neg(gc), p
+        with _span("fekf.forward"):
+            p = model.param_tensors()
+            coords = Tensor(batch.coords, requires_grad=True)
+            e = model.energy_graph(coords, batch, p=p, fused_env=self.fused_env)
+            (gc,) = grad(ops.tsum(e), [coords], create_graph=True)
+            f_pred = ops.neg(gc)
+        return f_pred, p
 
     def _force_group_gradient(
         self,
@@ -144,16 +152,18 @@ class FEKF:
         atom_group: np.ndarray,
     ) -> tuple[np.ndarray, float]:
         """Reduced gradient and ABE of one atom group's force components."""
-        sel = (slice(None), atom_group, slice(None))
-        f_group = f_pred[sel]
-        err = batch.forces[sel] - f_group.data
-        abe = float(np.mean(np.abs(err)))
-        weights = _signs(err) / err.size
-        scalar = ops.tsum(ops.mul(f_group, Tensor(weights)))
-        gs = grad(scalar, self._param_list(p))
-        g_flat = self.model.params.flatten_grads(
-            {name: g.data for name, g in zip(self.model.params.names(), gs)}
-        )
+        with _span("fekf.forward"):
+            sel = (slice(None), atom_group, slice(None))
+            f_group = f_pred[sel]
+            err = batch.forces[sel] - f_group.data
+            abe = float(np.mean(np.abs(err)))
+        with _span("fekf.gradient"):
+            weights = _signs(err) / err.size
+            scalar = ops.tsum(ops.mul(f_group, Tensor(weights)))
+            gs = grad(scalar, self._param_list(p))
+            g_flat = self.model.params.flatten_grads(
+                {name: g.data for name, g in zip(self.model.params.names(), gs)}
+            )
         return g_flat, abe
 
     def _force_gradient(
@@ -172,6 +182,73 @@ class FEKF:
         self.model.params.unflatten(self.model.params.flatten() + dw)
 
     # ------------------------------------------------------------------
+    # optimizer protocol: state + hyperparameters
+    # ------------------------------------------------------------------
+    @property
+    def hyperparams(self) -> dict:
+        """Readable hyperparameter summary (the ``Optimizer`` protocol)."""
+        cfg = self.kalman.cfg
+        return {
+            "name": self.name,
+            "lambda0": cfg.lambda0,
+            "nu": cfg.nu,
+            "blocksize": cfg.blocksize,
+            "coupled_gain": cfg.coupled_gain,
+            "fused_update": cfg.fused_update,
+            "p_trace_cap": cfg.p_trace_cap,
+            "max_step_norm": cfg.max_step_norm,
+            "n_force_splits": self.n_force_splits,
+            "fused_env": self.fused_env,
+            "reuse_force_graph": self.reuse_force_graph,
+            "step_scale": self.step_scale,
+        }
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Full filter state as flat arrays (same keys the npz checkpoints
+        have always used, so old checkpoint files stay loadable)."""
+        k = self.kalman
+        out: dict[str, np.ndarray] = {
+            "kalman/lam": np.array(k.lam),
+            "kalman/updates": np.array(k.updates),
+            "kalman/p_scales": np.array(k.p_scales),
+            "kalman/fused": np.array(int(k.cfg.fused_update)),
+            "kalman/step_count": np.array(self.step_count),
+        }
+        for i, p in enumerate(k.p_mats):
+            out[f"kalman/p{i}"] = p.copy(order="K")
+        return out
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore filter state produced by :meth:`state_dict`.
+
+        The block structure and fused/naive storage layout must match
+        this optimizer's ``KalmanConfig``; mismatches raise.
+        """
+        if "kalman/lam" not in state:
+            raise KeyError("state holds no EKF optimizer state ('kalman/lam' missing)")
+        k = self.kalman
+        if bool(state["kalman/fused"]) != k.cfg.fused_update:
+            raise ValueError(
+                "checkpoint P storage layout (fused vs naive) does not match "
+                "the optimizer's KalmanConfig"
+            )
+        n_blocks = len(k.p_mats)
+        for i in range(n_blocks):
+            key = f"kalman/p{i}"
+            if key not in state or state[key].shape != k.p_mats[i].shape:
+                raise ValueError("checkpoint block structure does not match")
+        for i in range(n_blocks):
+            arr = np.asarray(state[f"kalman/p{i}"])
+            k.p_mats[i] = (
+                np.asfortranarray(arr) if k.cfg.fused_update else np.array(arr)
+            )
+        k.p_scales = [float(c) for c in np.asarray(state["kalman/p_scales"])]
+        k.lam = float(state["kalman/lam"])
+        k.updates = int(state["kalman/updates"])
+        if "kalman/step_count" in state:  # absent in pre-telemetry files
+            self.step_count = int(state["kalman/step_count"])
+
+    # ------------------------------------------------------------------
     def step_batch(self, batch: DescriptorBatch) -> dict[str, float]:
         """One training step: 1 energy update + n_force_splits force updates."""
         scale = (
@@ -179,19 +256,28 @@ class FEKF:
             if self.step_scale is None
             else float(self.step_scale)
         )
-        g, e_abe = self._energy_gradient(batch)
-        self._apply_increment(self.kalman.update(g, e_abe, scale))
+        with _span("fekf.update", kind="energy"):
+            g, e_abe = self._energy_gradient(batch)
+            with _span("fekf.kalman"):
+                dw = self.kalman.update(g, e_abe, scale)
+        self._apply_increment(dw)
 
         f_abes = []
         shared = self._force_graph(batch) if self.reuse_force_graph else None
-        for group in self._force_groups(batch.n_atoms):
-            if shared is not None:
-                g, f_abe = self._force_group_gradient(*shared, batch, group)
-            else:
-                g, f_abe = self._force_gradient(batch, group)
-            self._apply_increment(self.kalman.update(g, f_abe, scale))
+        for gi, group in enumerate(self._force_groups(batch.n_atoms)):
+            with _span("fekf.update", kind="force", group=gi):
+                if shared is not None:
+                    g, f_abe = self._force_group_gradient(*shared, batch, group)
+                else:
+                    g, f_abe = self._force_gradient(batch, group)
+                with _span("fekf.kalman"):
+                    dw = self.kalman.update(g, f_abe, scale)
+            self._apply_increment(dw)
             f_abes.append(f_abe)
         self.step_count += 1
+        _metrics.REGISTRY.counter("optim.steps", optimizer=self.name).inc()
+        _metrics.REGISTRY.gauge("kalman.lambda").set(self.kalman.lam)
+        _metrics.REGISTRY.counter("kalman.updates").inc(1 + len(f_abes))
         return UpdateStats(
             energy_abe=e_abe,
             force_abe=float(np.mean(f_abes)) if f_abes else 0.0,

@@ -122,9 +122,38 @@ class FirstOrderOptimizer:
     def _apply(self, name: str, g: np.ndarray, lr: float) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # optimizer protocol: state + hyperparameters
+    # ------------------------------------------------------------------
+    @property
+    def hyperparams(self) -> dict:
+        """Readable hyperparameter summary (the ``Optimizer`` protocol)."""
+        return {
+            "name": getattr(self, "name", type(self).__name__),
+            "lr0": self.schedule.lr0,
+            "decay_rate": self.schedule.rate,
+            "decay_steps": self.schedule.steps,
+            "pe_start": self.loss_cfg.pe_start,
+            "pe_limit": self.loss_cfg.pe_limit,
+            "pf_start": self.loss_cfg.pf_start,
+            "pf_limit": self.loss_cfg.pf_limit,
+            "batch_scale_lr": self.batch_scale_lr,
+            "fused_env": self.fused_env,
+        }
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {"step_count": np.array(self.step_count)}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if "step_count" not in state:
+            raise KeyError("state holds no optimizer state ('step_count' missing)")
+        self.step_count = int(state["step_count"])
+
 
 class SGD(FirstOrderOptimizer):
     """Plain stochastic gradient descent (optional momentum)."""
+
+    name = "SGD"
 
     def __init__(self, model: DeePMD, momentum: float = 0.0, **kw):
         super().__init__(model, **kw)
@@ -139,9 +168,28 @@ class SGD(FirstOrderOptimizer):
             g = v
         self.model.params[name] = self.model.params[name] - lr * g
 
+    @property
+    def hyperparams(self) -> dict:
+        return {**super().hyperparams, "momentum": self.momentum}
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        out = super().state_dict()
+        for name, v in self._velocity.items():
+            out[f"sgd/velocity/{name}"] = v.copy()
+        return out
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        prefix = "sgd/velocity/"
+        self._velocity = {
+            k[len(prefix):]: np.array(state[k]) for k in state if k.startswith(prefix)
+        }
+
 
 class Adam(FirstOrderOptimizer):
     """Adam (Kingma & Ba) -- the stock DeePMD optimizer (paper baseline)."""
+
+    name = "Adam"
 
     def __init__(
         self,
@@ -160,6 +208,38 @@ class Adam(FirstOrderOptimizer):
     def step_batch(self, batch: DescriptorBatch) -> dict[str, float]:
         self._t += 1
         return super().step_batch(batch)
+
+    @property
+    def hyperparams(self) -> dict:
+        return {
+            **super().hyperparams,
+            "beta1": self.beta1,
+            "beta2": self.beta2,
+            "eps": self.eps,
+        }
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        out = super().state_dict()
+        out["adam/t"] = np.array(self._t)
+        for name, m in self._m.items():
+            out[f"adam/m/{name}"] = m.copy()
+        for name, v in self._v.items():
+            out[f"adam/v/{name}"] = v.copy()
+        return out
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        self._t = int(state.get("adam/t", 0))
+        self._m = {
+            k[len("adam/m/"):]: np.array(state[k])
+            for k in state
+            if k.startswith("adam/m/")
+        }
+        self._v = {
+            k[len("adam/v/"):]: np.array(state[k])
+            for k in state
+            if k.startswith("adam/v/")
+        }
 
     def _apply(self, name: str, g: np.ndarray, lr: float) -> None:
         m = self._m.get(name)

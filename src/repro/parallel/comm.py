@@ -23,10 +23,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..telemetry import metrics as _metrics
+
 
 @dataclass
 class CommLedger:
-    """Accumulated communication accounting for one rank group."""
+    """Accumulated communication accounting for one rank group.
+
+    Per-instance fields keep each communicator's view independent (many
+    simulated clusters can coexist); every ``record`` additionally feeds
+    the process-wide telemetry registry (``comm.bytes_sent_per_rank`` /
+    ``comm.steps`` / ``comm.calls``), which is what reports and
+    cross-subsystem summaries read.
+    """
 
     bytes_sent_per_rank: float = 0.0
     steps: int = 0
@@ -36,6 +45,10 @@ class CommLedger:
         self.bytes_sent_per_rank += bytes_per_rank
         self.steps += steps
         self.calls += 1
+        reg = _metrics.REGISTRY
+        reg.counter("comm.bytes_sent_per_rank").inc(bytes_per_rank)
+        reg.counter("comm.steps").inc(steps)
+        reg.counter("comm.calls").inc()
 
     def total_bytes(self, world_size: int) -> float:
         return self.bytes_sent_per_rank * world_size
@@ -116,7 +129,9 @@ class SimCommunicator:
 
         steps = 2 * (r - 1)
         self.ledger.record(bytes_per_rank, steps)
-        self.modeled_time_s += self.cost_model.time(bytes_per_rank, steps)
+        dt = self.cost_model.time(bytes_per_rank, steps)
+        self.modeled_time_s += dt
+        _metrics.REGISTRY.counter("comm.modeled_time_s").inc(dt)
         shape = buffers[0].shape
         return [w.reshape(shape) for w in work]
 
@@ -129,7 +144,9 @@ class SimCommunicator:
         steps = max(2 * (r - 1), 0)
         bytes_per_rank = 8.0 * 2 * (r - 1) / max(r, 1)
         self.ledger.record(bytes_per_rank, steps)
-        self.modeled_time_s += self.cost_model.time(bytes_per_rank, steps)
+        dt = self.cost_model.time(bytes_per_rank, steps)
+        self.modeled_time_s += dt
+        _metrics.REGISTRY.counter("comm.modeled_time_s").inc(dt)
         return float(np.sum(values))
 
     def broadcast(self, value: np.ndarray) -> list[np.ndarray]:
@@ -138,7 +155,9 @@ class SimCommunicator:
         steps = int(np.ceil(np.log2(max(r, 2)))) if r > 1 else 0
         bytes_per_rank = value.nbytes * steps / max(r, 1)
         self.ledger.record(bytes_per_rank, steps)
-        self.modeled_time_s += self.cost_model.time(bytes_per_rank, steps)
+        dt = self.cost_model.time(bytes_per_rank, steps)
+        self.modeled_time_s += dt
+        _metrics.REGISTRY.counter("comm.modeled_time_s").inc(dt)
         return [value.copy() for _ in range(r)]
 
 

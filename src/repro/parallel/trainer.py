@@ -33,6 +33,8 @@ from ..model.environment import DescriptorBatch
 from ..model.network import DeePMD
 from ..optim.ekf import FEKF, _signs
 from ..optim.kalman import KalmanConfig, KalmanState
+from ..telemetry import metrics as _metrics
+from ..telemetry.trace import span as _span
 from .comm import CostModel, SimCommunicator
 from .topology import ClusterSpec, cluster_for_gpus, cost_model_for
 
@@ -98,6 +100,24 @@ class DistributedFEKF:
     def kalman(self) -> KalmanState:
         return self._local.kalman
 
+    # optimizer protocol: all ranks share one filter state, so state and
+    # hyperparameters delegate to the rank-0 view
+    @property
+    def hyperparams(self) -> dict:
+        return {
+            **self._local.hyperparams,
+            "name": self.name,
+            "world_size": self.world_size,
+        }
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return self._local.state_dict()
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self._local.load_state_dict(state)
+        if self._shadow is not None:
+            self._shadow = self._local.kalman.clone()
+
     def _shards(self, batch: DescriptorBatch) -> list[DescriptorBatch]:
         bs = batch.batch_size
         if bs < self.world_size:
@@ -124,7 +144,8 @@ class DistributedFEKF:
 
     def _kf_update(self, g: np.ndarray, abe: float, scale: float) -> None:
         t0 = time.perf_counter()
-        dw = self._local.kalman.update(g, abe, scale)
+        with _span("parallel.kalman"):
+            dw = self._local.kalman.update(g, abe, scale)
         self.timing.kalman_s += time.perf_counter() - t0
         if self._shadow is not None:
             dw2 = self._shadow.update(g, abe, scale)
@@ -144,13 +165,15 @@ class DistributedFEKF:
         # ---- energy update -------------------------------------------
         locals_ = []
         max_compute = 0.0
-        for shard in shards:
-            t0 = time.perf_counter()
-            g, abe = self._local._energy_gradient(shard)
-            max_compute = max(max_compute, time.perf_counter() - t0)
-            locals_.append((g, abe * shard.batch_size, shard.batch_size))
+        with _span("parallel.compute", kind="energy", ranks=len(shards)):
+            for shard in shards:
+                t0 = time.perf_counter()
+                g, abe = self._local._energy_gradient(shard)
+                max_compute = max(max_compute, time.perf_counter() - t0)
+                locals_.append((g, abe * shard.batch_size, shard.batch_size))
         self.timing.compute_s += max_compute
-        g_mean, abe = self._allreduce_gradient(locals_, bs)
+        with _span("parallel.comm", kind="energy"):
+            g_mean, abe = self._allreduce_gradient(locals_, bs)
         self._kf_update(g_mean, abe, scale)
 
         # ---- force updates -------------------------------------------
@@ -159,34 +182,38 @@ class DistributedFEKF:
         if self._local.reuse_force_graph:
             graphs = []
             max_compute = 0.0
-            for shard in shards:
-                t0 = time.perf_counter()
-                graphs.append(self._local._force_graph(shard))
-                max_compute = max(max_compute, time.perf_counter() - t0)
+            with _span("parallel.compute", kind="force_graph", ranks=len(shards)):
+                for shard in shards:
+                    t0 = time.perf_counter()
+                    graphs.append(self._local._force_graph(shard))
+                    max_compute = max(max_compute, time.perf_counter() - t0)
             self.timing.compute_s += max_compute
         f_abes = []
         for group in groups:
             locals_ = []
             max_compute = 0.0
-            for r, shard in enumerate(shards):
-                t0 = time.perf_counter()
-                if graphs is not None:
-                    g, abe = self._local._force_group_gradient(
-                        *graphs[r], shard, group
-                    )
-                else:
-                    g, abe = self._local._force_gradient(shard, group)
-                max_compute = max(max_compute, time.perf_counter() - t0)
-                n_comp = shard.batch_size * len(group) * 3
-                locals_.append((g, abe * n_comp, n_comp))
+            with _span("parallel.compute", kind="force", ranks=len(shards)):
+                for r, shard in enumerate(shards):
+                    t0 = time.perf_counter()
+                    if graphs is not None:
+                        g, abe = self._local._force_group_gradient(
+                            *graphs[r], shard, group
+                        )
+                    else:
+                        g, abe = self._local._force_gradient(shard, group)
+                    max_compute = max(max_compute, time.perf_counter() - t0)
+                    n_comp = shard.batch_size * len(group) * 3
+                    locals_.append((g, abe * n_comp, n_comp))
             self.timing.compute_s += max_compute
-            g_mean, abe = self._allreduce_gradient(locals_, bs * len(group) * 3)
+            with _span("parallel.comm", kind="force"):
+                g_mean, abe = self._allreduce_gradient(locals_, bs * len(group) * 3)
             self._kf_update(g_mean, abe, scale)
             f_abes.append(abe)
 
         self.timing.comm_s += self.comm.modeled_time_s - comm_t0
         self.timing.steps += 1
         self.step_count += 1
+        _metrics.REGISTRY.counter("optim.steps", optimizer=self.name).inc()
         return {
             "force_abe": float(np.mean(f_abes)) if f_abes else 0.0,
             "modeled_time_s": self.timing.total_s,

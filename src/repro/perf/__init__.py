@@ -2,7 +2,7 @@
 
 from .memory import MB, MemoryReport, footprint_report, measured_update_peak, paper_layer_sizes
 from .presets import BASELINE, OPT1, OPT2, OPT3, PRESET_ORDER, PRESETS, Preset
-from .timer import PhaseProfile, UpdateProfile, profile_update
+from .timer import PhaseProfile, UpdateProfile, profile_from_events, profile_update
 
 __all__ = [
     "Preset",
@@ -20,4 +20,5 @@ __all__ = [
     "PhaseProfile",
     "UpdateProfile",
     "profile_update",
+    "profile_from_events",
 ]

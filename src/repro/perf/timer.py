@@ -1,26 +1,33 @@
-"""Iteration-phase timing and kernel counting for the Figure 7 experiments.
+"""Figure 7 phase profiles, derived from the telemetry event stream.
 
-``profile_update`` dissects one EKF update the way Figure 7(c) does:
+``profile_update`` used to re-implement the Figure 7(c) dissection with
+its own ``perf_counter`` pairs and ``KernelCounter`` blocks.  The hot
+paths are now instrumented end-to-end with :mod:`repro.telemetry` spans
+(``fekf.update`` wrapping ``fekf.forward`` / ``fekf.gradient`` /
+``fekf.kalman``), so the profiler simply runs one real optimizer step
+under a kernel-capturing tracer and *queries the events*:
 
 1. forward pass (predictions and errors),
 2. gradient acquisition (the backward pass(es)),
 3. the Kalman-filter calculation flow,
 
-and simultaneously counts kernel launches per phase for Figure 7(b),
-separately for the energy-driven and force-driven updates.
+per update flavour (energy-driven vs force-driven), with kernel launches
+per phase for Figure 7(b).  The step runs with ``reuse_force_graph``
+disabled -- the paper-exact protocol where every force update performs
+its own fresh forward -- so one ``step_batch`` yields one energy update
+and ``n_force_splits`` identical force updates; the first of each
+flavour becomes the reported profile.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
+from typing import Iterable
 
-import numpy as np
-
-from ..autograd import KernelCounter, Tensor, grad, ops
 from ..model.environment import DescriptorBatch
 from ..model.network import DeePMD
-from ..optim.ekf import FEKF, _signs
+from ..optim.ekf import FEKF
+from ..telemetry.trace import SpanEvent, Tracer
 from .presets import Preset
 
 
@@ -60,72 +67,76 @@ class UpdateProfile:
         return self.energy.total_s + n_force_splits * self.force.total_s
 
 
+#: phase span name -> PhaseProfile field prefix
+_PHASES = {"fekf.forward": "forward", "fekf.gradient": "gradient", "fekf.kalman": "kalman"}
+
+
+def _phase_profile(events: list[SpanEvent], update: SpanEvent) -> PhaseProfile:
+    """Fold the child phase spans of one ``fekf.update`` into a profile."""
+    acc = {
+        "forward_s": 0.0, "gradient_s": 0.0, "kalman_s": 0.0,
+        "forward_kernels": 0, "gradient_kernels": 0, "kalman_kernels": 0,
+    }
+    for ev in events:
+        if ev.parent_id != update.span_id:
+            continue
+        phase = _PHASES.get(ev.name)
+        if phase is None:
+            continue
+        acc[f"{phase}_s"] += ev.wall_s
+        acc[f"{phase}_kernels"] += int(ev.counters.get("kernels", 0))
+    return PhaseProfile(**acc)
+
+
+def profile_from_events(
+    events: Iterable[SpanEvent], preset: str = ""
+) -> UpdateProfile:
+    """Build an :class:`UpdateProfile` from a traced FEKF step's events.
+
+    This is the Figure 7 query: take the first energy-driven and the
+    first force-driven ``fekf.update`` span, and attribute their child
+    ``fekf.forward`` / ``fekf.gradient`` / ``fekf.kalman`` spans'
+    wall seconds and captured kernel counts to the three phases.
+    """
+    events = list(events)
+    energy = force = None
+    for ev in events:
+        if ev.name != "fekf.update":
+            continue
+        kind = ev.attrs.get("kind")
+        if kind == "energy" and energy is None:
+            energy = ev
+        elif kind == "force" and force is None:
+            force = ev
+    if energy is None or force is None:
+        raise ValueError(
+            "event stream holds no complete FEKF step (expected 'fekf.update' "
+            "spans of kind 'energy' and 'force'; was the step traced?)"
+        )
+    return UpdateProfile(
+        preset=preset,
+        energy=_phase_profile(events, energy),
+        force=_phase_profile(events, force),
+    )
+
+
 def profile_update(
     model: DeePMD, opt: FEKF, batch: DescriptorBatch, preset: Preset
 ) -> UpdateProfile:
     """Measure one energy-driven and one force-driven FEKF update under
-    the given optimization preset."""
-    n = batch.n_atoms
-    bs = batch.batch_size
-    with preset.context():
-        # ---------------- energy update ------------------------------
-        with KernelCounter() as kc_f:
-            t0 = time.perf_counter()
-            p = model.param_tensors()
-            e = model.energy_graph(
-                Tensor(batch.coords), batch, p=p, fused_env=preset.fused_env
-            )
-            err = (batch.energies - e.data) / n
-            abe = float(np.mean(np.abs(err)))
-            t_forward = time.perf_counter() - t0
-        with KernelCounter() as kc_g:
-            t0 = time.perf_counter()
-            weights = _signs(err) / (n * bs)
-            scalar = ops.tsum(ops.mul(e, Tensor(weights)))
-            gs = grad(scalar, [p[nm] for nm in model.params.names()])
-            g_flat = model.params.flatten_grads(
-                {nm: g.data for nm, g in zip(model.params.names(), gs)}
-            )
-            t_grad = time.perf_counter() - t0
-        with KernelCounter() as kc_k:
-            t0 = time.perf_counter()
-            opt.kalman.update(g_flat, abe, float(np.sqrt(bs)))
-            t_kalman = time.perf_counter() - t0
-        energy_profile = PhaseProfile(
-            t_forward, t_grad, t_kalman,
-            kc_f.total_launches, kc_g.total_launches, kc_k.total_launches,
-        )
+    the given optimization preset.
 
-        # ---------------- force update -------------------------------
-        group = np.arange(n)[: max(n // opt.n_force_splits, 1)]
-        with KernelCounter() as kc_f:
-            t0 = time.perf_counter()
-            p = model.param_tensors()
-            coords = Tensor(batch.coords, requires_grad=True)
-            e = model.energy_graph(coords, batch, p=p, fused_env=preset.fused_env)
-            (gc,) = grad(ops.tsum(e), [coords], create_graph=True)
-            f_pred = ops.neg(gc)
-            sel = (slice(None), group, slice(None))
-            f_group = f_pred[sel]
-            err = batch.forces[sel] - f_group.data
-            abe = float(np.mean(np.abs(err)))
-            t_forward = time.perf_counter() - t0
-        with KernelCounter() as kc_g:
-            t0 = time.perf_counter()
-            weights = _signs(err) / err.size
-            scalar = ops.tsum(ops.mul(f_group, Tensor(weights)))
-            gs = grad(scalar, [p[nm] for nm in model.params.names()])
-            g_flat = model.params.flatten_grads(
-                {nm: g.data for nm, g in zip(model.params.names(), gs)}
-            )
-            t_grad = time.perf_counter() - t0
-        with KernelCounter() as kc_k:
-            t0 = time.perf_counter()
-            opt.kalman.update(g_flat, abe, float(np.sqrt(bs)))
-            t_kalman = time.perf_counter() - t0
-        force_profile = PhaseProfile(
-            t_forward, t_grad, t_kalman,
-            kc_f.total_launches, kc_g.total_launches, kc_k.total_launches,
-        )
-
-    return UpdateProfile(preset=preset.name, energy=energy_profile, force=force_profile)
+    Runs a real ``opt.step_batch`` (paper-exact per-update protocol:
+    force-graph reuse disabled for the duration) inside a
+    kernel-capturing tracer and derives the profile from the span
+    events via :func:`profile_from_events`.
+    """
+    old_reuse = opt.reuse_force_graph
+    opt.reuse_force_graph = False
+    try:
+        with preset.context():
+            with Tracer(capture_kernels=True) as tracer:
+                opt.step_batch(batch)
+    finally:
+        opt.reuse_force_graph = old_reuse
+    return profile_from_events(tracer.events, preset=preset.name)

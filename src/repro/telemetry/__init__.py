@@ -1,0 +1,60 @@
+"""repro.telemetry -- unified observability: spans, metrics, exporters.
+
+One subsystem replaces the four ad-hoc measurement mechanisms the repo
+grew up with (inline ``perf_counter`` pairs in the trainer, the one-off
+Figure-7 profiler, the communication ledger's private counters, the
+kernel-launch counter):
+
+* :func:`span` / :class:`Tracer` -- nested wall/CPU-time spans with
+  arbitrary counters, emitted from every hot path (``Trainer.run``,
+  ``FEKF.step_batch`` phases, the data-parallel trainer).
+* :data:`metrics.REGISTRY` -- process-wide counters / gauges /
+  histograms with labels (communication bytes, kernel launches,
+  optimizer updates).
+* exporters -- JSONL event stream (:class:`JsonlExporter`), aggregated
+  summaries (:func:`summarize`), human tables (:func:`format_table`).
+
+Quick start::
+
+    from repro import telemetry
+
+    with telemetry.Tracer(capture_kernels=True) as tr:
+        trainer.run(max_epochs=2)
+    print(telemetry.format_table(tr.summary()))
+    print(telemetry.metrics.REGISTRY.snapshot())
+
+Tracing is off by default and costs one global check per span, so
+instrumented code runs at full speed when nobody is watching.
+"""
+
+from . import metrics
+from .export import JsonlExporter, format_table, read_jsonl, summarize
+from .metrics import (
+    REGISTRY,
+    MetricRegistry,
+    disable_kernel_metrics,
+    enable_kernel_metrics,
+    get_registry,
+)
+from .trace import NULL_SPAN, Span, SpanEvent, Tracer, current_tracer, disable, enable, span
+
+__all__ = [
+    "span",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "current_tracer",
+    "enable",
+    "disable",
+    "NULL_SPAN",
+    "metrics",
+    "MetricRegistry",
+    "REGISTRY",
+    "get_registry",
+    "enable_kernel_metrics",
+    "disable_kernel_metrics",
+    "JsonlExporter",
+    "read_jsonl",
+    "summarize",
+    "format_table",
+]

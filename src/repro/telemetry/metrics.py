@@ -1,0 +1,221 @@
+"""Process-wide metric registry: counters, gauges, histograms with labels.
+
+Where spans (``trace.py``) answer "how long did this extent take", metrics
+answer "how much of X has happened so far": bytes on the wire, kernel
+launches, optimizer updates, evaluations.  Instruments are get-or-created
+by ``(name, labels)`` so repeated lookups return the same object::
+
+    from repro.telemetry import metrics
+    metrics.REGISTRY.counter("comm.bytes_sent_per_rank").inc(nbytes)
+    metrics.REGISTRY.gauge("kalman.lambda").set(lam)
+    metrics.REGISTRY.histogram("train.step_seconds").observe(dt)
+
+``REGISTRY.snapshot()`` renders everything to one plain dict (JSON-ready,
+what the exporters serialize); ``REGISTRY.reset()`` zeroes it (tests,
+per-experiment scoping).
+
+Kernel launches as a standard counter: :func:`enable_kernel_metrics`
+installs an adapter into the :mod:`repro.autograd.instrument` reporting
+chain, after which every primitive-op execution increments
+``autograd.kernel_launches{op=<name>}`` and ``autograd.kernel_bytes``.
+This is per-op overhead, so it is off by default and explicitly scoped.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..autograd import instrument as _instrument
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "REGISTRY",
+    "get_registry",
+    "enable_kernel_metrics",
+    "disable_kernel_metrics",
+]
+
+
+class Counter:
+    """Monotonically increasing accumulator."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-value-wins instrument (e.g. the current lambda)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming distribution: count/sum/min/max plus a bounded sample.
+
+    The first ``max_samples`` observations are retained verbatim for
+    percentile queries; count/sum/min/max stay exact regardless.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "samples", "max_samples")
+
+    def __init__(self, max_samples: int = 4096):
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.samples: list[float] = []
+        self.max_samples = int(max_samples)
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        if len(self.samples) < self.max_samples:
+            self.samples.append(v)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-th percentile (q in [0, 100]) from the sample."""
+        if not self.samples:
+            return 0.0
+        s = sorted(self.samples)
+        idx = min(int(round(q / 100.0 * (len(s) - 1))), len(s) - 1)
+        return s[idx]
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
+
+def _key(name: str, labels: dict) -> tuple:
+    return (name, tuple(sorted(labels.items())))
+
+
+def _label_str(name: str, labels: tuple) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class MetricRegistry:
+    """Keyed store of instruments; one process-wide instance at ``REGISTRY``."""
+
+    def __init__(self):
+        self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
+        self._histograms: dict[tuple, Histogram] = {}
+
+    # -- get-or-create -------------------------------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        k = _key(name, labels)
+        c = self._counters.get(k)
+        if c is None:
+            c = self._counters[k] = Counter()
+        return c
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        k = _key(name, labels)
+        g = self._gauges.get(k)
+        if g is None:
+            g = self._gauges[k] = Gauge()
+        return g
+
+    def histogram(self, name: str, max_samples: int = 4096, **labels) -> Histogram:
+        k = _key(name, labels)
+        h = self._histograms.get(k)
+        if h is None:
+            h = self._histograms[k] = Histogram(max_samples)
+        return h
+
+    # -- introspection -------------------------------------------------
+    def snapshot(self) -> dict:
+        """All instruments as one JSON-ready dict."""
+        return {
+            "counters": {
+                _label_str(n, lb): c.value for (n, lb), c in self._counters.items()
+            },
+            "gauges": {
+                _label_str(n, lb): g.value for (n, lb), g in self._gauges.items()
+            },
+            "histograms": {
+                _label_str(n, lb): h.summary()
+                for (n, lb), h in self._histograms.items()
+            },
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+#: the process-wide registry every instrumented subsystem reports to
+REGISTRY = MetricRegistry()
+
+
+def get_registry() -> MetricRegistry:
+    return REGISTRY
+
+
+# ---------------------------------------------------------------------------
+# kernel launches as standard counters
+# ---------------------------------------------------------------------------
+class _RegistryKernelSink:
+    """Duck-typed KernelCounter that forwards launches to a registry."""
+
+    def __init__(self, registry: MetricRegistry):
+        self.registry = registry
+
+    def record(self, op_name: str, nbytes: int = 0) -> None:
+        self.registry.counter("autograd.kernel_launches", op=op_name).inc()
+        self.registry.counter("autograd.kernel_bytes").inc(nbytes)
+
+
+_KERNEL_SINKS: list[_RegistryKernelSink] = []
+
+
+def enable_kernel_metrics(registry: MetricRegistry | None = None) -> None:
+    """Route every primitive-op launch into ``registry`` (default: the
+    process-wide one).  Per-op overhead -- scope it deliberately."""
+    sink = _RegistryKernelSink(registry or REGISTRY)
+    _KERNEL_SINKS.append(sink)
+    _instrument._ACTIVE.append(sink)  # type: ignore[arg-type]
+
+
+def disable_kernel_metrics() -> None:
+    """Undo the innermost :func:`enable_kernel_metrics`."""
+    if not _KERNEL_SINKS:
+        return
+    sink = _KERNEL_SINKS.pop()
+    if sink in _instrument._ACTIVE:
+        _instrument._ACTIVE.remove(sink)  # type: ignore[arg-type]

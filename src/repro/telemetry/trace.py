@@ -1,0 +1,266 @@
+"""Span-based tracing: the timing substrate for every perf claim.
+
+The paper's evaluation is a set of *measurements* -- seconds per phase
+(Fig. 7c), kernel launches per update (Fig. 7b), bytes per collective
+(Table 5).  Rather than sprinkling ``time.perf_counter()`` pairs through
+every subsystem, the hot paths open named spans::
+
+    with telemetry.span("fekf.forward"):
+        ...                     # wall + CPU time, kernel counts
+    with telemetry.span("fekf.update", kind="energy") as sp:
+        sp.add("updates", 1)    # arbitrary counters on the span
+
+Spans nest; each completed span becomes one :class:`SpanEvent` carrying
+its wall/CPU duration, depth, parent linkage, attributes, and counters.
+Events flow to whatever :class:`Tracer` is active.
+
+Tracing is *opt-in*: when no tracer is installed, :func:`span` returns a
+shared no-op context manager and the instrumented code pays only one
+module-global check per span -- the <5% overhead budget of the CI smoke
+check.  Install a tracer either scoped (``with Tracer() as tr: ...``) or
+process-wide (:func:`enable` / :func:`disable`).
+
+``Tracer(capture_kernels=True)`` additionally opens a
+:class:`repro.autograd.KernelCounter` per span, so every event also
+reports the primitive-op launches and output bytes of its extent --
+Figure 7b falls out of the same event stream as Figure 7c.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..autograd.instrument import KernelCounter
+
+__all__ = [
+    "SpanEvent",
+    "Span",
+    "Tracer",
+    "span",
+    "current_tracer",
+    "enable",
+    "disable",
+]
+
+
+@dataclass
+class SpanEvent:
+    """One completed span."""
+
+    name: str
+    #: monotonically increasing id, assigned when the span *opens* (so a
+    #: parent always has a smaller id than its children)
+    span_id: int
+    #: id of the enclosing span, or ``None`` at top level
+    parent_id: Optional[int]
+    #: nesting depth under the tracer root (top level = 0)
+    depth: int
+    #: seconds since the tracer was installed, at span open
+    t_start: float
+    wall_s: float
+    cpu_s: float
+    attrs: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (the JSONL event schema)."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "t_start": self.t_start,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "attrs": self.attrs,
+            "counters": self.counters,
+        }
+
+
+class Span:
+    """An open span; context manager handed out by :meth:`Tracer.span`."""
+
+    __slots__ = (
+        "tracer", "name", "span_id", "parent_id", "depth",
+        "attrs", "counters", "_t0", "_c0", "_kc",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.counters: dict = {}
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+        self.depth = 0
+        self._t0 = 0.0
+        self._c0 = 0.0
+        self._kc: Optional[KernelCounter] = None
+
+    # -- counter / attribute helpers -----------------------------------
+    def add(self, key: str, value: float = 1.0) -> "Span":
+        """Accumulate an arbitrary counter on this span."""
+        self.counters[key] = self.counters.get(key, 0) + value
+        return self
+
+    def set(self, key: str, value) -> "Span":
+        """Attach/overwrite an attribute on this span."""
+        self.attrs[key] = value
+        return self
+
+    # -- context protocol ----------------------------------------------
+    def __enter__(self) -> "Span":
+        self.tracer._open(self)
+        self._t0 = time.perf_counter()
+        self._c0 = time.process_time()
+        if self.tracer.capture_kernels:
+            self._kc = KernelCounter()
+            self._kc.__enter__()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        wall = time.perf_counter() - self._t0
+        cpu = time.process_time() - self._c0
+        if self._kc is not None:
+            self._kc.__exit__()
+            self.counters["kernels"] = (
+                self.counters.get("kernels", 0) + self._kc.total_launches
+            )
+            self.counters["kernel_bytes"] = (
+                self.counters.get("kernel_bytes", 0) + self._kc.total_bytes
+            )
+        self.tracer._close(self, wall, cpu)
+
+
+class _NullSpan:
+    """Shared no-op stand-in used when no tracer is active."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+    def add(self, key: str, value: float = 1.0) -> "_NullSpan":
+        return self
+
+    def set(self, key: str, value) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects span events and fans them out to sinks.
+
+    Parameters
+    ----------
+    sinks:
+        Callables invoked with each completed :class:`SpanEvent` (e.g. a
+        :class:`repro.telemetry.JsonlExporter`).
+    capture_kernels:
+        Open a :class:`KernelCounter` per span so events carry
+        ``counters["kernels"]`` / ``counters["kernel_bytes"]``.  A parent
+        span's counts include its children's (counters nest).
+    keep_events:
+        Retain completed events on :attr:`events` (default).  Disable for
+        unbounded runs that only stream to sinks.
+    """
+
+    def __init__(
+        self,
+        sinks: tuple[Callable[[SpanEvent], None], ...] | list = (),
+        capture_kernels: bool = False,
+        keep_events: bool = True,
+    ):
+        self.sinks = list(sinks)
+        self.capture_kernels = bool(capture_kernels)
+        self.keep_events = bool(keep_events)
+        self.events: list[SpanEvent] = []
+        self._open_stack: list[Span] = []
+        self._next_id = 0
+        self._epoch = time.perf_counter()
+
+    # -- span lifecycle (called by Span) -------------------------------
+    def _open(self, sp: Span) -> None:
+        sp.span_id = self._next_id
+        self._next_id += 1
+        if self._open_stack:
+            parent = self._open_stack[-1]
+            sp.parent_id = parent.span_id
+            sp.depth = parent.depth + 1
+        self._open_stack.append(sp)
+
+    def _close(self, sp: Span, wall: float, cpu: float) -> None:
+        if self._open_stack and self._open_stack[-1] is sp:
+            self._open_stack.pop()
+        else:  # out-of-order exit; drop without corrupting the stack
+            self._open_stack = [s for s in self._open_stack if s is not sp]
+        event = SpanEvent(
+            name=sp.name,
+            span_id=sp.span_id,
+            parent_id=sp.parent_id,
+            depth=sp.depth,
+            t_start=sp._t0 - self._epoch,
+            wall_s=wall,
+            cpu_s=cpu,
+            attrs=sp.attrs,
+            counters=sp.counters,
+        )
+        if self.keep_events:
+            self.events.append(event)
+        for sink in self.sinks:
+            sink(event)
+
+    # -- public API ----------------------------------------------------
+    def span(self, name: str, **attrs) -> Span:
+        return Span(self, name, attrs)
+
+    def summary(self) -> dict:
+        """Aggregate retained events by span name (see ``export.summarize``)."""
+        from .export import summarize
+
+        return summarize(self.events)
+
+    def __enter__(self) -> "Tracer":
+        _STACK.append(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self in _STACK:
+            _STACK.remove(self)
+
+
+#: stack of installed tracers; spans report to the innermost one
+_STACK: list[Tracer] = []
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The innermost active tracer, or ``None``."""
+    return _STACK[-1] if _STACK else None
+
+
+def span(name: str, **attrs):
+    """Open a span on the active tracer (no-op when tracing is off)."""
+    if not _STACK:
+        return NULL_SPAN
+    return _STACK[-1].span(name, **attrs)
+
+
+def enable(*sinks, capture_kernels: bool = False, keep_events: bool = True) -> Tracer:
+    """Install a process-wide tracer (idempotent layering is allowed:
+    nested ``enable`` calls stack, ``disable`` pops the innermost)."""
+    tracer = Tracer(sinks, capture_kernels=capture_kernels, keep_events=keep_events)
+    _STACK.append(tracer)
+    return tracer
+
+
+def disable() -> Optional[Tracer]:
+    """Remove the innermost process-wide tracer and return it."""
+    return _STACK.pop() if _STACK else None

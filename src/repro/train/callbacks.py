@@ -1,0 +1,106 @@
+"""Trainer event API: callbacks driven by the training loop.
+
+``Trainer.run(callbacks=[...])`` replaces the old inline ``verbose``
+printing with an extensible event stream:
+
+* ``on_train_begin(trainer)`` -- once, before the first batch;
+* ``on_step_end(StepInfo)`` -- after every optimizer step;
+* ``on_eval(EpochRecord)`` -- after *every* RMSE evaluation, including
+  the fractional mid-epoch ones;
+* ``on_epoch_end(EpochRecord)`` -- after each end-of-epoch evaluation
+  (the events the old ``verbose=True`` printed);
+* ``on_train_end(TrainResult)`` -- once, after the loop exits.
+
+``verbose=True`` remains supported as a shim that appends a
+:class:`ConsoleCallback`.  The loop itself is instrumented with
+:mod:`repro.telemetry` spans (``train.step`` / ``train.eval``), so
+callbacks are for *reacting* to training (logging, early stopping hooks,
+streaming dashboards) while telemetry is for *measuring* it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, TextIO
+
+if TYPE_CHECKING:  # avoid a runtime cycle with trainer.py
+    from .trainer import EpochRecord, Trainer, TrainResult
+
+__all__ = ["StepInfo", "Callback", "ConsoleCallback", "JsonlCallback"]
+
+
+@dataclass
+class StepInfo:
+    """What ``on_step_end`` receives about one optimizer step."""
+
+    epoch: int
+    batch_index: int
+    n_batches: int
+    #: seconds spent inside ``optimizer.step_batch`` for this batch
+    step_seconds: float
+    #: the optimizer's own per-batch diagnostics (``step_batch`` return)
+    stats: dict
+
+
+class Callback:
+    """Base class: override any subset of the hooks (all default no-op)."""
+
+    def on_train_begin(self, trainer: "Trainer") -> None:
+        pass
+
+    def on_step_end(self, info: StepInfo) -> None:
+        pass
+
+    def on_eval(self, record: "EpochRecord") -> None:
+        pass
+
+    def on_epoch_end(self, record: "EpochRecord") -> None:
+        pass
+
+    def on_train_end(self, result: "TrainResult") -> None:
+        pass
+
+
+class ConsoleCallback(Callback):
+    """The old ``verbose=True`` behaviour, as a callback."""
+
+    def __init__(self, printer: Callable[[str], None] = print):
+        self.printer = printer
+
+    def on_epoch_end(self, record: "EpochRecord") -> None:
+        epoch = (
+            f"{record.epoch:4.0f}"
+            if float(record.epoch).is_integer()
+            else f"{record.epoch:6.2f}"
+        )
+        self.printer(
+            f"epoch {epoch}  train E/F rmse "
+            f"{record.train_energy_rmse:.5f}/{record.train_force_rmse:.5f}  "
+            f"test {record.test_energy_rmse:.5f}/{record.test_force_rmse:.5f}"
+        )
+
+
+class JsonlCallback(Callback):
+    """Stream every evaluation record as one JSON line (machine logs)."""
+
+    def __init__(self, stream: TextIO):
+        self.stream = stream
+
+    def on_eval(self, record: "EpochRecord") -> None:
+        import json
+
+        self.stream.write(
+            json.dumps(
+                {
+                    "type": "eval",
+                    "epoch": record.epoch,
+                    "train_energy_rmse": record.train_energy_rmse,
+                    "train_force_rmse": record.train_force_rmse,
+                    "test_energy_rmse": record.test_energy_rmse,
+                    "test_force_rmse": record.test_force_rmse,
+                    "wall_time": record.wall_time,
+                    "train_time": record.train_time,
+                }
+            )
+            + "\n"
+        )

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Protocol
+from typing import Optional, Protocol, Sequence
 
 import numpy as np
 
@@ -18,6 +18,9 @@ from ..data.dataset import Dataset
 from ..data.loader import BatchLoader
 from ..model.environment import make_batch
 from ..model.network import DeePMD
+from ..telemetry import metrics as _metrics
+from ..telemetry.trace import span as _span
+from .callbacks import Callback, ConsoleCallback, StepInfo
 
 
 class SupportsStepBatch(Protocol):
@@ -64,9 +67,17 @@ class TrainResult:
 
     @property
     def final(self) -> EpochRecord:
+        if not self.history:
+            raise RuntimeError(
+                "no evaluations recorded (did the run have max_epochs=0?)"
+            )
         return self.history[-1]
 
     def best_total(self, split: str = "train") -> float:
+        if not self.history:
+            raise RuntimeError(
+                "no evaluations recorded (did the run have max_epochs=0?)"
+            )
         key = "train_total" if split == "train" else "test_total"
         return min(getattr(r, key) for r in self.history)
 
@@ -119,12 +130,14 @@ class Trainer:
         self.evals_per_epoch = max(int(evals_per_epoch), 1)
 
     # ------------------------------------------------------------------
-    def _evaluate(self, epoch: int, t0: float, train_seconds: float) -> EpochRecord:
-        tr = self.model.evaluate_rmse(self.train_set, max_frames=self.eval_frames)
-        if self.test_set is not None and self.test_set.n_frames > 0:
-            te = self.model.evaluate_rmse(self.test_set, max_frames=self.eval_frames)
-        else:
-            te = tr
+    def _evaluate(self, epoch: float, t0: float, train_seconds: float) -> EpochRecord:
+        with _span("train.eval", epoch=epoch):
+            tr = self.model.evaluate_rmse(self.train_set, max_frames=self.eval_frames)
+            if self.test_set is not None and self.test_set.n_frames > 0:
+                te = self.model.evaluate_rmse(self.test_set, max_frames=self.eval_frames)
+            else:
+                te = tr
+        _metrics.REGISTRY.counter("train.evals").inc()
         return EpochRecord(
             epoch=epoch,
             train_energy_rmse=tr["energy_rmse"],
@@ -135,61 +148,91 @@ class Trainer:
             train_time=train_seconds,
         )
 
+    def _record(self, rec: EpochRecord, result: TrainResult, cbs: list[Callback]) -> None:
+        result.history.append(rec)
+        for cb in cbs:
+            cb.on_eval(rec)
+
     def run(
         self,
         max_epochs: int,
         target: Optional[TargetCriterion] = None,
         verbose: bool = False,
+        callbacks: Optional[Sequence[Callback]] = None,
     ) -> TrainResult:
+        """Train for up to ``max_epochs`` epochs (early-stop on ``target``).
+
+        ``callbacks`` receive the trainer event stream (see
+        :mod:`repro.train.callbacks`); ``verbose=True`` is a shim that
+        appends a :class:`ConsoleCallback` reproducing the old printing.
+        """
+        cbs: list[Callback] = list(callbacks) if callbacks else []
+        if verbose:
+            cbs.append(ConsoleCallback())
         result = TrainResult()
         t0 = time.perf_counter()
         train_seconds = 0.0
-        for epoch in range(1, max_epochs + 1):
-            batches = list(self.loader.epoch(epoch - 1))
-            n_batches = len(batches)
-            checkpoints = {
-                max(1, round(n_batches * k / self.evals_per_epoch))
-                for k in range(1, self.evals_per_epoch + 1)
-            }
-            stop = False
-            for b_idx, idx in enumerate(batches, start=1):
-                batch = make_batch(self.train_set, idx, self.model.cfg)
-                t_step = time.perf_counter()
-                self.optimizer.step_batch(batch)
-                train_seconds += time.perf_counter() - t_step
-                mid_eval = (
-                    self.evals_per_epoch > 1
-                    and b_idx in checkpoints
-                    and b_idx != n_batches
-                )
-                if not mid_eval:
+        for cb in cbs:
+            cb.on_train_begin(self)
+        steps_counter = _metrics.REGISTRY.counter("train.steps")
+        with _span("train.run", max_epochs=max_epochs, batch_size=self.batch_size):
+            for epoch in range(1, max_epochs + 1):
+                batches = list(self.loader.epoch(epoch - 1))
+                n_batches = len(batches)
+                checkpoints = {
+                    max(1, round(n_batches * k / self.evals_per_epoch))
+                    for k in range(1, self.evals_per_epoch + 1)
+                }
+                stop = False
+                for b_idx, idx in enumerate(batches, start=1):
+                    batch = make_batch(self.train_set, idx, self.model.cfg)
+                    t_step = time.perf_counter()
+                    with _span("train.step", epoch=epoch, batch=b_idx):
+                        stats = self.optimizer.step_batch(batch)
+                    step_seconds = time.perf_counter() - t_step
+                    train_seconds += step_seconds
+                    steps_counter.inc()
+                    if cbs:
+                        info = StepInfo(
+                            epoch=epoch,
+                            batch_index=b_idx,
+                            n_batches=n_batches,
+                            step_seconds=step_seconds,
+                            stats=stats if isinstance(stats, dict) else {},
+                        )
+                        for cb in cbs:
+                            cb.on_step_end(info)
+                    mid_eval = (
+                        self.evals_per_epoch > 1
+                        and b_idx in checkpoints
+                        and b_idx != n_batches
+                    )
+                    if not mid_eval:
+                        continue
+                    frac_epoch = epoch - 1 + b_idx / n_batches
+                    rec = self._evaluate(frac_epoch, t0, train_seconds)
+                    self._record(rec, result, cbs)
+                    if target is not None and target.met(rec):
+                        result.epochs_to_target = frac_epoch
+                        result.wall_time_to_target = rec.train_time
+                        result.converged = True
+                        stop = True
+                        break
+                if stop:
+                    break
+                if epoch % self.eval_every != 0 and epoch != max_epochs:
                     continue
-                frac_epoch = epoch - 1 + b_idx / n_batches
-                rec = self._evaluate(frac_epoch, t0, train_seconds)
-                result.history.append(rec)
+                rec = self._evaluate(epoch, t0, train_seconds)
+                self._record(rec, result, cbs)
+                for cb in cbs:
+                    cb.on_epoch_end(rec)
                 if target is not None and target.met(rec):
-                    result.epochs_to_target = frac_epoch
+                    result.epochs_to_target = epoch
                     result.wall_time_to_target = rec.train_time
                     result.converged = True
-                    stop = True
                     break
-            if stop:
-                break
-            if epoch % self.eval_every != 0 and epoch != max_epochs:
-                continue
-            rec = self._evaluate(epoch, t0, train_seconds)
-            result.history.append(rec)
-            if verbose:
-                print(
-                    f"epoch {epoch:4}  train E/F rmse "
-                    f"{rec.train_energy_rmse:.5f}/{rec.train_force_rmse:.5f}  "
-                    f"test {rec.test_energy_rmse:.5f}/{rec.test_force_rmse:.5f}"
-                )
-            if target is not None and target.met(rec):
-                result.epochs_to_target = epoch
-                result.wall_time_to_target = rec.train_time
-                result.converged = True
-                break
         result.total_wall_time = time.perf_counter() - t0
         result.total_train_time = train_seconds
+        for cb in cbs:
+            cb.on_train_end(result)
         return result

@@ -1,0 +1,105 @@
+"""MetricRegistry: get-or-create semantics, labels, snapshot, kernel sink."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.telemetry import (
+    MetricRegistry,
+    disable_kernel_metrics,
+    enable_kernel_metrics,
+)
+
+
+class TestInstruments:
+    def test_counter_get_or_create(self):
+        reg = MetricRegistry()
+        c = reg.counter("steps")
+        c.inc()
+        c.inc(2.5)
+        assert reg.counter("steps") is c
+        assert c.value == 3.5
+
+    def test_labels_distinguish_instruments(self):
+        reg = MetricRegistry()
+        reg.counter("kernels", op="matmul").inc(3)
+        reg.counter("kernels", op="add").inc(1)
+        assert reg.counter("kernels", op="matmul").value == 3
+        assert reg.counter("kernels", op="add").value == 1
+        # label order must not matter
+        a = reg.gauge("g", x=1, y=2)
+        assert reg.gauge("g", y=2, x=1) is a
+
+    def test_gauge_last_value_wins(self):
+        reg = MetricRegistry()
+        g = reg.gauge("lambda")
+        assert g.value is None
+        g.set(0.98)
+        g.set(0.99)
+        assert g.value == 0.99
+
+    def test_histogram_summary(self):
+        reg = MetricRegistry()
+        h = reg.histogram("dt")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["sum"] == 10.0
+        assert s["min"] == 1.0
+        assert s["max"] == 4.0
+        assert s["mean"] == 2.5
+        assert 1.0 <= s["p50"] <= 4.0
+
+    def test_histogram_bounded_samples_exact_totals(self):
+        reg = MetricRegistry()
+        h = reg.histogram("dt", max_samples=8)
+        for v in range(100):
+            h.observe(float(v))
+        assert len(h.samples) == 8
+        assert h.count == 100
+        assert h.total == sum(range(100))
+        assert h.max == 99.0
+
+
+class TestSnapshot:
+    def test_snapshot_shape_and_label_strings(self):
+        reg = MetricRegistry()
+        reg.counter("c", op="matmul").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c{op=matmul}": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_reset(self):
+        reg = MetricRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestKernelMetrics:
+    def test_launches_routed_to_registry(self):
+        reg = MetricRegistry()
+        a = Tensor(np.ones((3, 3)))
+        enable_kernel_metrics(reg)
+        try:
+            (a @ a).sum()
+        finally:
+            disable_kernel_metrics()
+        snap = reg.snapshot()
+        per_op = {
+            k: v for k, v in snap["counters"].items()
+            if k.startswith("autograd.kernel_launches")
+        }
+        assert sum(per_op.values()) >= 2
+        assert snap["counters"]["autograd.kernel_bytes"] > 0
+        # after disable, further ops must not report
+        before = dict(snap["counters"])
+        a @ a
+        assert reg.snapshot()["counters"] == before
+
+    def test_disable_without_enable_is_noop(self):
+        disable_kernel_metrics()  # must not raise
