@@ -1,13 +1,23 @@
-"""Sec. 5.3 scalability bench -- ring-allreduce cost vs world size.
+"""Sec. 5.3 scalability bench -- ring-allreduce cost vs world size, plus
+real wall-clock of the executor backends.
 
 Benchmarks the chunked ring-allreduce at the paper's gradient size across
 GPU counts and asserts the per-rank volume follows 2(r-1)/r * payload.
+The wall-clock benchmarks train the same batches through DistributedFEKF
+under each executor backend for world_size in {1, 2, 4}: ``wall_time_s``
+is real host time, reported next to the modeled cluster clock.  The
+thread-backend speedup assertion (>= 1.5x at world_size=4) only fires on
+hosts with >= 4 cores -- on fewer cores the numbers are still reported
+but there is no parallel hardware to claim a speedup from.
 """
+
+import os
 
 import numpy as np
 import pytest
 
-from repro.parallel import SimCommunicator, allreduce_volume_bytes
+from repro.optim import KalmanConfig
+from repro.parallel import DistributedFEKF, SimCommunicator, allreduce_volume_bytes
 
 GRAD_ELEMENTS = 26551  # paper network
 
@@ -33,3 +43,74 @@ def test_volume_formula(world):
     )
     # the paper's ~0.2 MB gradient claim
     assert comm.ledger.bytes_sent_per_rank < 0.45e6
+
+
+# ---------------------------------------------------------------------------
+# real wall-clock across executor backends
+# ---------------------------------------------------------------------------
+def _step_wall_seconds(cu_data, cfg, executor, world, batch, steps=2):
+    from repro.model import DeePMD
+
+    model = DeePMD.for_dataset(cu_data, cfg, seed=1)
+    dist = DistributedFEKF(
+        model,
+        world_size=world,
+        kalman_cfg=KalmanConfig(blocksize=2048, fused_update=True),
+        seed=7,
+        executor=executor,
+    )
+    dist.step_batch(batch)  # warm-up (neighbor caches, worker spin-up)
+    wall0 = dist.timing.wall_s
+    for _ in range(steps):
+        stats = dist.step_batch(batch)
+    dist.close()
+    return (stats["wall_time_s"] - wall0) / steps, model.params.flatten()
+
+
+@pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+@pytest.mark.parametrize("world", [1, 2, 4])
+def test_step_walltime(benchmark, cu_data, cfg, executor, world, batch32):
+    """Real per-step wall time of one DistributedFEKF step per backend."""
+    from repro.model import DeePMD
+
+    model = DeePMD.for_dataset(cu_data, cfg, seed=1)
+    dist = DistributedFEKF(
+        model,
+        world_size=world,
+        kalman_cfg=KalmanConfig(blocksize=2048, fused_update=True),
+        seed=7,
+        executor=executor,
+    )
+    dist.step_batch(batch32)  # warm-up
+    out = benchmark(dist.step_batch, batch32)
+    dist.close()
+    assert out["force_abe"] > 0
+    assert out["wall_time_s"] > 0
+    assert out["modeled_time_s"] > 0
+
+
+def test_thread_speedup_on_multicore(cu_data, cfg, batch32):
+    """wall_time_s table for world_size in {1, 2, 4}; the >= 1.5x speedup
+    acceptance at world_size=4 is asserted only on >= 4-core hosts."""
+    walls = {}
+    weights = {}
+    for world in (1, 2, 4):
+        walls[world], weights[world] = _step_wall_seconds(
+            cu_data, cfg, "thread", world, batch32
+        )
+    serial_wall, serial_weights = _step_wall_seconds(
+        cu_data, cfg, "serial", 4, batch32
+    )
+    # determinism holds regardless of core count
+    assert np.array_equal(weights[4], serial_weights)
+    speedup = walls[1] / walls[4]
+    print(
+        f"\nthread-executor wall s/step: "
+        + ", ".join(f"world={w}: {t:.3f}" for w, t in walls.items())
+        + f"; speedup(4)={speedup:.2f}x on {os.cpu_count()} cores"
+    )
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 1.5, (
+            f"expected >= 1.5x wall-clock speedup at world_size=4 on a "
+            f"{os.cpu_count()}-core host, measured {speedup:.2f}x"
+        )

@@ -16,13 +16,22 @@ The engine has two global toggles:
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass
+import threading
 
 
-@dataclass
-class _AutogradConfig:
-    grad_enabled: bool = True
-    fused_elementwise: bool = False
+class _AutogradConfig(threading.local):
+    """Per-thread engine flags.
+
+    Thread-locality matters for the parallel rank executors: a
+    ``no_grad()`` block entered by one worker thread's backward pass must
+    not switch off graph construction in a sibling thread's forward pass
+    mid-flight.  Each thread starts from the defaults below; a flag set
+    on the main thread is deliberately NOT inherited by worker threads.
+    """
+
+    def __init__(self):
+        self.grad_enabled: bool = True
+        self.fused_elementwise: bool = False
 
 
 config = _AutogradConfig()

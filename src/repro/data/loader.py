@@ -42,10 +42,15 @@ class BatchLoader:
         return (n + self.batch_size - 1) // self.batch_size
 
     def epoch(self, epoch_index: int | None = None) -> Iterator[np.ndarray]:
-        """Yield minibatch index arrays for one epoch."""
+        """Yield minibatch index arrays for one epoch.
+
+        ``epoch_index`` selects the deterministic shuffle; ``None`` reads
+        the loader's epoch cursor without advancing it.  This method
+        never mutates loader state, so ``list(loader.epoch(i))`` is
+        reproducible for any ``i`` at any time.
+        """
         if epoch_index is None:
             epoch_index = self._epoch
-            self._epoch += 1
         n = self.dataset.n_frames
         order = np.arange(n)
         if self.shuffle:
@@ -56,4 +61,13 @@ class BatchLoader:
             yield order[lo : lo + self.batch_size]
 
     def __iter__(self) -> Iterator[np.ndarray]:
-        return self.epoch()
+        """Iterate the epoch at the cursor, then advance the cursor.
+
+        The cursor moves only when the iterator is exhausted -- merely
+        calling ``iter(loader)`` (or abandoning it part-way) leaves the
+        epoch sequence unchanged, so consecutive full passes replay
+        ``epoch(0)``, ``epoch(1)``, ... exactly.
+        """
+        e = self._epoch
+        yield from self.epoch(e)
+        self._epoch = e + 1

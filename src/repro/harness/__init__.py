@@ -25,6 +25,7 @@ EXPERIMENTS = {
     "figure7c": figure7.run_7c,
     "memory": memory.run,
     "scaling": scaling.run,
+    "scaling_walltime": scaling.run_walltime,
     "ablations": ablations.run,
     "ablation_lambda_nu": ablations.run_lambda_nu,
     "ablation_dataflow": ablations.run_funnel_vs_fusiform,

@@ -15,6 +15,15 @@ from .blocks import Block, block_shapes, p_memory_bytes, split_blocks, validate_
 from .ekf import FEKF, NaiveEKF, RLEKF, UpdateStats
 from .first_order import SGD, Adam, ExponentialDecay, FirstOrderOptimizer, LossConfig
 from .kalman import KalmanConfig, KalmanState
+from .worker import (
+    FaultInjector,
+    GradientWorker,
+    ShardResult,
+    TaskResult,
+    WorkerSpec,
+    WorkerTelemetry,
+    error_signs,
+)
 
 __all__ = [
     "Optimizer",
@@ -31,6 +40,13 @@ __all__ = [
     "RLEKF",
     "NaiveEKF",
     "UpdateStats",
+    "GradientWorker",
+    "WorkerSpec",
+    "ShardResult",
+    "TaskResult",
+    "WorkerTelemetry",
+    "FaultInjector",
+    "error_signs",
     "Adam",
     "SGD",
     "FirstOrderOptimizer",

@@ -187,7 +187,7 @@ def make_optimizer(name: str, model: DeePMD, **overrides) -> Optimizer:
             kalman_cfg = KalmanConfig(**kalman_overrides)
         ctor_keys = {
             "n_force_splits", "fused_env", "reuse_force_graph",
-            "verify_replicas", "cost_model", "seed",
+            "verify_replicas", "cost_model", "seed", "executor",
         }
         ctor = {k: overrides.pop(k) for k in list(overrides) if k in ctor_keys}
         _reject_unknown(key, overrides)

@@ -29,12 +29,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..autograd import Tensor, grad, ops
 from ..model.environment import DescriptorBatch
 from ..model.network import DeePMD
 from ..telemetry import metrics as _metrics
 from ..telemetry.trace import span as _span
 from .kalman import KalmanConfig, KalmanState
+from .worker import GradientWorker, error_signs
 
 
 @dataclass
@@ -55,10 +55,8 @@ class UpdateStats:
         }
 
 
-def _signs(errors: np.ndarray) -> np.ndarray:
-    """+1 where the prediction is below the label, -1 otherwise
-    (Algorithm 1 lines 3-5: flip Y_hat when Y_hat >= Y)."""
-    return np.where(errors > 0.0, 1.0, -1.0)
+#: back-compat alias; the implementation moved to :mod:`repro.optim.worker`
+_signs = error_signs
 
 
 class FEKF:
@@ -94,7 +92,9 @@ class FEKF:
         cfg = kalman_cfg or KalmanConfig()
         self.kalman = KalmanState(model.num_params, model.params.layer_sizes(), cfg)
         self.n_force_splits = int(n_force_splits)
-        self.fused_env = fused_env
+        #: the per-shard gradient math, shared (same model object) with the
+        #: rank workers of the data-parallel trainer
+        self.worker = GradientWorker(model, fused_env=fused_env)
         #: when True, the n_force_splits group updates share one force
         #: graph (H evaluated at the weights before the first group update)
         #: instead of a fresh forward per group -- a large CPU saving with
@@ -108,78 +108,45 @@ class FEKF:
         self.step_count = 0
 
     # ------------------------------------------------------------------
-    # gradient building blocks
+    # gradient building blocks (implementation lives in GradientWorker;
+    # the underscore wrappers are kept for in-package/back-compat use)
     # ------------------------------------------------------------------
-    def _param_list(self, p: dict[str, Tensor]) -> list[Tensor]:
-        return [p[name] for name in self.model.params.names()]
+    @property
+    def fused_env(self) -> bool:
+        """Route the descriptor through the hand-derived Opt1 kernel."""
+        return self.worker.fused_env
+
+    @fused_env.setter
+    def fused_env(self, value: bool) -> None:
+        self.worker.fused_env = value
 
     def _energy_gradient(self, batch: DescriptorBatch) -> tuple[np.ndarray, float]:
-        """Reduced per-atom-energy gradient E(g) and ABE for the batch."""
-        model = self.model
-        with _span("fekf.forward"):
-            p = model.param_tensors()
-            e = model.energy_graph(
-                Tensor(batch.coords), batch, p=p, fused_env=self.fused_env
-            )
-            n = batch.n_atoms
-            err = (batch.energies - e.data) / n
-            abe = float(np.mean(np.abs(err)))
-        with _span("fekf.gradient"):
-            weights = _signs(err) / (n * batch.batch_size)
-            scalar = ops.tsum(ops.mul(e, Tensor(weights)))
-            gs = grad(scalar, self._param_list(p))
-            g_flat = self.model.params.flatten_grads(
-                {name: g.data for name, g in zip(model.params.names(), gs)}
-            )
-        return g_flat, abe
+        return self.worker.energy_gradient(batch)
 
     def _force_graph(self, batch: DescriptorBatch):
-        """Build the differentiable force predictions F = -dE/dr."""
-        model = self.model
-        with _span("fekf.forward"):
-            p = model.param_tensors()
-            coords = Tensor(batch.coords, requires_grad=True)
-            e = model.energy_graph(coords, batch, p=p, fused_env=self.fused_env)
-            (gc,) = grad(ops.tsum(e), [coords], create_graph=True)
-            f_pred = ops.neg(gc)
-        return f_pred, p
+        return self.worker.force_graph(batch)
 
-    def _force_group_gradient(
-        self,
-        f_pred: Tensor,
-        p: dict[str, Tensor],
-        batch: DescriptorBatch,
-        atom_group: np.ndarray,
-    ) -> tuple[np.ndarray, float]:
-        """Reduced gradient and ABE of one atom group's force components."""
-        with _span("fekf.forward"):
-            sel = (slice(None), atom_group, slice(None))
-            f_group = f_pred[sel]
-            err = batch.forces[sel] - f_group.data
-            abe = float(np.mean(np.abs(err)))
-        with _span("fekf.gradient"):
-            weights = _signs(err) / err.size
-            scalar = ops.tsum(ops.mul(f_group, Tensor(weights)))
-            gs = grad(scalar, self._param_list(p))
-            g_flat = self.model.params.flatten_grads(
-                {name: g.data for name, g in zip(self.model.params.names(), gs)}
-            )
-        return g_flat, abe
+    def _force_group_gradient(self, f_pred, p, batch, atom_group):
+        return self.worker.force_group_gradient(f_pred, p, batch, atom_group)
 
-    def _force_gradient(
-        self, batch: DescriptorBatch, atom_group: np.ndarray
-    ) -> tuple[np.ndarray, float]:
-        """Fresh forward at the current weights + one group's gradient
-        (the paper-exact per-update protocol)."""
-        f_pred, p = self._force_graph(batch)
-        return self._force_group_gradient(f_pred, p, batch, atom_group)
+    def _force_gradient(self, batch: DescriptorBatch, atom_group: np.ndarray):
+        return self.worker.force_gradient(batch, atom_group)
 
-    def _force_groups(self, n_atoms: int) -> list[np.ndarray]:
+    def force_groups(self, n_atoms: int) -> list[np.ndarray]:
+        """The per-batch disjoint atom groups driving the force updates
+        (consumes one RNG draw -- call exactly once per step)."""
         perm = self._rng.permutation(n_atoms)
         return [np.sort(g) for g in np.array_split(perm, self.n_force_splits) if g.size]
 
-    def _apply_increment(self, dw: np.ndarray) -> None:
-        self.model.params.unflatten(self.model.params.flatten() + dw)
+    # back-compat private name
+    _force_groups = force_groups
+
+    def apply_increment(self, dw: np.ndarray) -> None:
+        """w <- w + dw (the shared weight-update step of Algorithm 1)."""
+        self.worker.apply_increment(dw)
+
+    # back-compat private name
+    _apply_increment = apply_increment
 
     # ------------------------------------------------------------------
     # optimizer protocol: state + hyperparameters
@@ -214,6 +181,18 @@ class FEKF:
             "kalman/fused": np.array(int(k.cfg.fused_update)),
             "kalman/step_count": np.array(self.step_count),
         }
+        st = self._rng.bit_generator.state
+        if st.get("bit_generator") == "PCG64":
+            # the group-shuffle RNG advances one draw per step; carrying
+            # its 128-bit PCG64 state (as uint64 quads) makes a resumed
+            # run continue bit-identically to the uninterrupted one
+            m = (1 << 64) - 1
+            s, inc = st["state"]["state"], st["state"]["inc"]
+            out["kalman/rng"] = np.array(
+                [s & m, (s >> 64) & m, inc & m, (inc >> 64) & m,
+                 st["has_uint32"], st["uinteger"]],
+                dtype=np.uint64,
+            )
         for i, p in enumerate(k.p_mats):
             out[f"kalman/p{i}"] = p.copy(order="K")
         return out
@@ -247,6 +226,15 @@ class FEKF:
         k.updates = int(state["kalman/updates"])
         if "kalman/step_count" in state:  # absent in pre-telemetry files
             self.step_count = int(state["kalman/step_count"])
+        if "kalman/rng" in state:  # absent in older checkpoints
+            r = np.asarray(state["kalman/rng"], dtype=np.uint64)
+            st = self._rng.bit_generator.state
+            if st.get("bit_generator") == "PCG64":
+                st["state"]["state"] = int(r[0]) | (int(r[1]) << 64)
+                st["state"]["inc"] = int(r[2]) | (int(r[3]) << 64)
+                st["has_uint32"] = int(r[4])
+                st["uinteger"] = int(r[5])
+                self._rng.bit_generator.state = st
 
     # ------------------------------------------------------------------
     def step_batch(self, batch: DescriptorBatch) -> dict[str, float]:

@@ -150,10 +150,16 @@ class SimCommunicator:
         return float(np.sum(values))
 
     def broadcast(self, value: np.ndarray) -> list[np.ndarray]:
-        """Root broadcast (tree): used once for initial weight sync."""
+        """Root broadcast (binomial tree): used once for initial weight sync.
+
+        The tree takes ``ceil(log2 r)`` steps and delivers the full payload
+        to each of the ``r - 1`` non-root ranks exactly once, so the
+        aggregate traffic is ``(r-1) * nbytes`` -- per rank, averaged over
+        the group, ``(r-1)/r * nbytes`` (see :func:`broadcast_volume_bytes`).
+        """
         r = self.world_size
-        steps = int(np.ceil(np.log2(max(r, 2)))) if r > 1 else 0
-        bytes_per_rank = value.nbytes * steps / max(r, 1)
+        steps = int(np.ceil(np.log2(r))) if r > 1 else 0
+        bytes_per_rank = value.nbytes * (r - 1) / max(r, 1)
         self.ledger.record(bytes_per_rank, steps)
         dt = self.cost_model.time(bytes_per_rank, steps)
         self.modeled_time_s += dt
@@ -167,3 +173,16 @@ def allreduce_volume_bytes(n_elements: int, world_size: int, dtype_size: int = 8
         return 0.0
     payload = n_elements * dtype_size
     return 2.0 * (world_size - 1) / world_size * payload
+
+
+def broadcast_volume_bytes(n_elements: int, world_size: int, dtype_size: int = 8) -> float:
+    """Closed-form per-rank binomial-tree broadcast traffic.
+
+    Every non-root rank receives the payload exactly once, so the group
+    moves ``(r-1) * payload`` bytes total, i.e. ``(r-1)/r * payload``
+    averaged per rank.
+    """
+    if world_size <= 1:
+        return 0.0
+    payload = n_elements * dtype_size
+    return (world_size - 1) / world_size * payload

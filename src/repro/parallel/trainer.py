@@ -1,51 +1,76 @@
-"""Data-parallel FEKF over a simulated GPU cluster.
+"""Data-parallel FEKF over pluggable rank executors.
 
 The paper's Sec. 3.3 argument, executed literally:
 
 * the minibatch is sharded across ranks;
-* each rank computes its *reduced* local gradient and absolute-error sums
-  (the funnel dataflow -- reduction happens before any Kalman algebra);
+* each rank's :class:`~repro.optim.GradientWorker` computes its *reduced*
+  local gradient and absolute-error sums (the funnel dataflow -- reduction
+  happens before any Kalman algebra);
 * gradients are summed with a real ring-allreduce, ABEs with a scalar
   allreduce;
-* every rank then performs the *identical* Kalman update, so the P
-  replicas never diverge and are never communicated.  A verification mode
-  keeps genuinely independent replicas and asserts bit-equality of their
-  checksums every step.
+* the parent performs one Kalman update and broadcasts the weight *delta*
+  to every replica, so the P replicas never diverge and are never
+  communicated.  A verification mode keeps a genuinely independent shadow
+  replica and asserts bit-equality of the checksums every update.
 
-Wall-clock for Table 5 is modeled as
+Execution backend is pluggable (:mod:`repro.parallel.executor`): ranks run
+serially in-process (default), on worker threads, or in persistent worker
+processes -- all bit-identical, because per-rank compute is a pure
+function of (weights, shard) and results are reduced in rank order.
 
-    max_rank(compute) + t_comm(alpha-beta model) + t_kalman
+Robustness: a rank that fails a task twice surfaces as
+:class:`WorkerCrash`; the trainer then finishes the *current step* with a
+serial scratch worker (bit-identical -- the shared force graph is rebuilt
+at the snapshotted post-energy weights) and heals the executor before the
+next step.  A crash costs wall time, never a training step.
 
-per update, where compute is measured on this CPU (every rank's shard is
-actually executed) and the communication term comes from the byte-exact
-ledger.  Absolute numbers are CPU-scale; the speedup *ratios* across
-configurations are the reproduction target.
+Two clocks are reported per step:
+
+* ``modeled_time_s`` -- max_rank(compute) + t_comm(alpha-beta model)
+  + t_kalman, the Table-5 simulated cluster time;
+* ``wall_time_s`` -- real elapsed time of ``step_batch`` on this host,
+  which is what the thread/process executors actually improve.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..model.environment import DescriptorBatch
 from ..model.network import DeePMD
-from ..optim.ekf import FEKF, _signs
+from ..optim.ekf import FEKF
 from ..optim.kalman import KalmanConfig, KalmanState
+from ..optim.worker import (
+    FaultInjector,
+    GradientWorker,
+    ShardResult,
+    TaskResult,
+    WorkerSpec,
+    WorkerTelemetry,
+)
 from ..telemetry import metrics as _metrics
-from ..telemetry.trace import span as _span
+from ..telemetry.trace import current_tracer, span as _span
 from .comm import CostModel, SimCommunicator
+from .executor import Executor, WorkerCrash, make_executor
 from .topology import ClusterSpec, cluster_for_gpus, cost_model_for
 
 
 @dataclass
 class StepTiming:
-    """Accumulated simulated-time components (seconds)."""
+    """Accumulated timing components (seconds).
+
+    ``compute_s`` / ``comm_s`` / ``kalman_s`` are *simulated-cluster*
+    components (compute is the per-round max over ranks, comm comes from
+    the alpha-beta model); ``wall_s`` is real elapsed time on this host.
+    """
 
     compute_s: float = 0.0
     comm_s: float = 0.0
     kalman_s: float = 0.0
+    wall_s: float = 0.0
     steps: int = 0
 
     @property
@@ -54,10 +79,12 @@ class StepTiming:
 
 
 class DistributedFEKF:
-    """FEKF with the minibatch sharded over ``world_size`` simulated ranks.
+    """FEKF with the minibatch sharded over ``world_size`` ranks.
 
     Exposes the same ``step_batch`` protocol as the serial optimizers, so
-    it plugs straight into :class:`repro.train.Trainer`.
+    it plugs straight into :class:`repro.train.Trainer`.  ``executor``
+    selects the backend: ``"serial"`` / ``"thread"`` / ``"process"``, an
+    :class:`Executor` instance, or ``None`` to consult ``$REPRO_EXECUTOR``.
     """
 
     name = "DistributedFEKF"
@@ -73,12 +100,13 @@ class DistributedFEKF:
         verify_replicas: bool = False,
         cost_model: CostModel | None = None,
         seed: int = 0,
+        executor: "str | Executor | None" = None,
     ):
         self.world_size = int(world_size)
         if cost_model is None:
             cost_model = cost_model_for(cluster_for_gpus(self.world_size))
         self.comm = SimCommunicator(self.world_size, cost_model)
-        # the shared-replica optimizer (rank 0's view; all ranks identical)
+        # the parent optimizer: owns the canonical weights + filter state
         self._local = FEKF(
             model,
             kalman_cfg=kalman_cfg,
@@ -88,26 +116,36 @@ class DistributedFEKF:
             seed=seed,
         )
         self.model = model
+        self._spec = WorkerSpec(model=model, fused_env=fused_env)
+        self.executor = make_executor(executor, self.world_size)
+        self.executor.start(self._spec)
         self.timing = StepTiming()
         self.verify_replicas = verify_replicas
         self._shadow: KalmanState | None = (
             self._local.kalman.clone() if verify_replicas else None
         )
         self.step_count = 0
+        # per-step fallback state (see _round / _fallback_call)
+        self._step_fallback = False
+        self._fb_worker: GradientWorker | None = None
+        self._fb_graphs: dict[int, object] = {}
+        self._graph_weights: np.ndarray | None = None
+        self._shard_cache: list[DescriptorBatch] = []
 
     # ------------------------------------------------------------------
     @property
     def kalman(self) -> KalmanState:
         return self._local.kalman
 
-    # optimizer protocol: all ranks share one filter state, so state and
-    # hyperparameters delegate to the rank-0 view
+    # optimizer protocol: the parent holds one filter state and the
+    # canonical weights, so state and hyperparameters delegate to it
     @property
     def hyperparams(self) -> dict:
         return {
             **self._local.hyperparams,
             "name": self.name,
             "world_size": self.world_size,
+            "executor": self.executor.name,
         }
 
     def state_dict(self) -> dict[str, np.ndarray]:
@@ -117,32 +155,133 @@ class DistributedFEKF:
         self._local.load_state_dict(state)
         if self._shadow is not None:
             self._shadow = self._local.kalman.clone()
+        self.sync_workers()
+
+    def sync_workers(self) -> None:
+        """Push the parent's full weight vector to every rank replica."""
+        w = self.model.params.flatten()
+        try:
+            self.executor.broadcast("set_weights", w)
+        except WorkerCrash:
+            _metrics.REGISTRY.counter("parallel.executor_heals").inc()
+            self.executor.heal(self._spec, w)
+
+    def inject_fault(self, rank: int, fault: FaultInjector) -> None:
+        """Install a fault injector on one rank (robustness tests)."""
+        calls = [
+            ("set_fault", (fault if r == rank else None,))
+            for r in range(self.world_size)
+        ]
+        self.executor.submit(calls)
+
+    def close(self) -> None:
+        """Tear down the executor's workers (idempotent)."""
+        self.executor.close()
 
     def _shards(self, batch: DescriptorBatch) -> list[DescriptorBatch]:
+        """Near-even frame split; when ``batch_size < world_size`` the
+        surplus ranks receive empty shards (their zero-count results drop
+        out of the count-weighted reduction)."""
         bs = batch.batch_size
-        if bs < self.world_size:
-            raise ValueError(
-                f"batch size {bs} smaller than world size {self.world_size}"
-            )
+        if bs < 1:
+            raise ValueError("cannot shard an empty batch")
         bounds = np.linspace(0, bs, self.world_size + 1).astype(int)
         return [batch.frame_slice(int(lo), int(hi)) for lo, hi in zip(bounds, bounds[1:])]
 
     # ------------------------------------------------------------------
+    # executor rounds with serial fallback
+    # ------------------------------------------------------------------
+    def _merge_telemetry(self, results: list[TaskResult]) -> float:
+        """Fold worker-local telemetry into the parent registry/tracer;
+        returns the max rank wall time (the simulated-cluster compute
+        cost of the round)."""
+        tracer = current_tracer()
+        ex = self.executor.name
+        max_wall = 0.0
+        for res in results:
+            tel = res.telemetry
+            if tel.wall_s > max_wall:
+                max_wall = tel.wall_s
+            if tel.counters:
+                _metrics.REGISTRY.merge_counters(tel.counters, executor=ex)
+            if tracer is not None and tel.spans:
+                tracer.emit_foreign(tel.spans, rank=tel.rank, executor=ex)
+        return max_wall
+
+    def _round(
+        self, calls: list[tuple[str, tuple]], capture: bool
+    ) -> list[TaskResult]:
+        """Run one call per rank; on a :class:`WorkerCrash` switch the
+        remainder of the step to the serial scratch worker -- the step
+        always completes, with bit-identical results."""
+        if not self._step_fallback:
+            try:
+                return self.executor.submit(calls, capture=capture)
+            except WorkerCrash:
+                _metrics.REGISTRY.counter("parallel.serial_fallbacks").inc()
+                self._step_fallback = True
+        worker = self._fb_worker
+        if worker is None:
+            worker = self._fb_worker = self._spec.build()
+        return [
+            self._fallback_call(worker, rank, method, args, capture)
+            for rank, (method, args) in enumerate(calls)
+        ]
+
+    def _fallback_call(
+        self,
+        worker: GradientWorker,
+        rank: int,
+        method: str,
+        args: tuple,
+        capture: bool,
+    ) -> TaskResult:
+        """Reproduce one rank's task on the scratch worker.
+
+        State tasks are no-ops (the parent already holds the canonical
+        state; dead replicas are healed wholesale after the step), and
+        ``graph_task`` is deferred -- the shared graph is rebuilt lazily
+        per rank at the snapshotted post-energy weights, which is exactly
+        where the live workers built theirs.
+        """
+        if method == "energy_task":
+            worker.set_weights(self.model.params.flatten())
+            worker.set_shard(self._shard_cache[rank])
+            return worker.run("energy_task", (), capture)
+        if method == "force_task":
+            group, fresh = args
+            if fresh:
+                worker.set_weights(self.model.params.flatten())
+                worker.set_shard(self._shard_cache[rank])
+                return worker.run("force_task", (group, True), capture)
+            if rank not in self._fb_graphs:
+                worker.set_weights(self._graph_weights)
+                worker.set_shard(self._shard_cache[rank])
+                worker.run("graph_task", (), capture)
+                self._fb_graphs[rank] = worker.graph
+            worker.set_shard(self._shard_cache[rank])
+            worker.graph = self._fb_graphs[rank]
+            return worker.run("force_task", (group, False), capture)
+        # set_shard / apply_delta / graph_task / set_fault: nothing to do
+        return TaskResult(payload=None, telemetry=WorkerTelemetry(rank=rank))
+
+    # ------------------------------------------------------------------
     def _allreduce_gradient(
-        self, locals_: list[tuple[np.ndarray, float, int]], total: int
+        self, locals_: list[ShardResult], total: int
     ) -> tuple[np.ndarray, float]:
-        """Combine per-rank (mean-gradient, abs-error-sum, count) triples
-        into the global mean gradient and ABE via ring/scalar allreduce."""
-        weighted = [g * (cnt / total) for g, _, cnt in locals_]
+        """Combine per-rank shard results into the global mean gradient
+        and ABE via ring/scalar allreduce (zero-count ranks contribute
+        zero weight)."""
+        weighted = [r.grad * (r.count / total) for r in locals_]
         reduced = self.comm.ring_allreduce(weighted)
         # every replica must hold the same result bit-for-bit
         for other in reduced[1:]:
             if not np.array_equal(reduced[0], other):
                 raise AssertionError("ring-allreduce replicas diverged")
-        abe = self.comm.allreduce_scalar([s for _, s, _ in locals_]) / total
+        abe = self.comm.allreduce_scalar([r.abe_sum for r in locals_]) / total
         return reduced[0], abe
 
-    def _kf_update(self, g: np.ndarray, abe: float, scale: float) -> None:
+    def _kf_update(self, g: np.ndarray, abe: float, scale: float) -> np.ndarray:
         t0 = time.perf_counter()
         with _span("parallel.kalman"):
             dw = self._local.kalman.update(g, abe, scale)
@@ -153,69 +292,84 @@ class DistributedFEKF:
                 raise AssertionError("Kalman replicas diverged")
             if self._shadow.checksum() != self._local.kalman.checksum():
                 raise AssertionError("P replica checksums diverged")
-        self._local._apply_increment(dw)
+        self._local.apply_increment(dw)
+        return dw
+
+    def _sync(self, dw: np.ndarray) -> None:
+        """Broadcast the weight delta so every replica tracks the parent
+        (skipped during fallback: heal() re-syncs wholesale afterwards)."""
+        if self._step_fallback:
+            return
+        try:
+            results = self.executor.broadcast("apply_delta", dw)
+            self._merge_telemetry(results)
+        except WorkerCrash:
+            _metrics.REGISTRY.counter("parallel.serial_fallbacks").inc()
+            self._step_fallback = True
 
     # ------------------------------------------------------------------
     def step_batch(self, batch: DescriptorBatch) -> dict[str, float]:
+        step_t0 = time.perf_counter()
         shards = self._shards(batch)
+        self._shard_cache = shards
+        self._step_fallback = False
+        self._fb_graphs = {}
+        self._graph_weights = None
         bs = batch.batch_size
         scale = float(np.sqrt(bs))
         comm_t0 = self.comm.modeled_time_s
+        capture = current_tracer() is not None
+
+        # ---- distribute shards ---------------------------------------
+        results = self._round([("set_shard", (s,)) for s in shards], False)
+        self._merge_telemetry(results)
 
         # ---- energy update -------------------------------------------
-        locals_ = []
-        max_compute = 0.0
         with _span("parallel.compute", kind="energy", ranks=len(shards)):
-            for shard in shards:
-                t0 = time.perf_counter()
-                g, abe = self._local._energy_gradient(shard)
-                max_compute = max(max_compute, time.perf_counter() - t0)
-                locals_.append((g, abe * shard.batch_size, shard.batch_size))
-        self.timing.compute_s += max_compute
+            results = self._round([("energy_task", ())] * self.world_size, capture)
+            self.timing.compute_s += self._merge_telemetry(results)
         with _span("parallel.comm", kind="energy"):
-            g_mean, abe = self._allreduce_gradient(locals_, bs)
-        self._kf_update(g_mean, abe, scale)
+            g_mean, abe = self._allreduce_gradient([r.payload for r in results], bs)
+        self._sync(self._kf_update(g_mean, abe, scale))
 
         # ---- force updates -------------------------------------------
-        groups = self._local._force_groups(batch.n_atoms)
-        graphs = None
-        if self._local.reuse_force_graph:
-            graphs = []
-            max_compute = 0.0
+        groups = self._local.force_groups(batch.n_atoms)
+        fresh = not self._local.reuse_force_graph
+        if not fresh:
+            # the shared graphs are built at the post-energy-update
+            # weights; snapshot them so a fallback can rebuild any rank's
+            # graph bit-identically after a mid-step crash
+            self._graph_weights = self.model.params.flatten()
             with _span("parallel.compute", kind="force_graph", ranks=len(shards)):
-                for shard in shards:
-                    t0 = time.perf_counter()
-                    graphs.append(self._local._force_graph(shard))
-                    max_compute = max(max_compute, time.perf_counter() - t0)
-            self.timing.compute_s += max_compute
+                results = self._round(
+                    [("graph_task", ())] * self.world_size, capture
+                )
+                self.timing.compute_s += self._merge_telemetry(results)
         f_abes = []
         for group in groups:
-            locals_ = []
-            max_compute = 0.0
             with _span("parallel.compute", kind="force", ranks=len(shards)):
-                for r, shard in enumerate(shards):
-                    t0 = time.perf_counter()
-                    if graphs is not None:
-                        g, abe = self._local._force_group_gradient(
-                            *graphs[r], shard, group
-                        )
-                    else:
-                        g, abe = self._local._force_gradient(shard, group)
-                    max_compute = max(max_compute, time.perf_counter() - t0)
-                    n_comp = shard.batch_size * len(group) * 3
-                    locals_.append((g, abe * n_comp, n_comp))
-            self.timing.compute_s += max_compute
+                results = self._round(
+                    [("force_task", (group, fresh))] * self.world_size, capture
+                )
+                self.timing.compute_s += self._merge_telemetry(results)
             with _span("parallel.comm", kind="force"):
-                g_mean, abe = self._allreduce_gradient(locals_, bs * len(group) * 3)
-            self._kf_update(g_mean, abe, scale)
+                g_mean, abe = self._allreduce_gradient(
+                    [r.payload for r in results], bs * len(group) * 3
+                )
+            self._sync(self._kf_update(g_mean, abe, scale))
             f_abes.append(abe)
 
+        if self._step_fallback:
+            _metrics.REGISTRY.counter("parallel.executor_heals").inc()
+            self.executor.heal(self._spec, self.model.params.flatten())
         self.timing.comm_s += self.comm.modeled_time_s - comm_t0
+        self.timing.wall_s += time.perf_counter() - step_t0
         self.timing.steps += 1
         self.step_count += 1
         _metrics.REGISTRY.counter("optim.steps", optimizer=self.name).inc()
         return {
             "force_abe": float(np.mean(f_abes)) if f_abes else 0.0,
             "modeled_time_s": self.timing.total_s,
+            "wall_time_s": self.timing.wall_s,
             "comm_bytes_per_rank": self.comm.ledger.bytes_sent_per_rank,
         }

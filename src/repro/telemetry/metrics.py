@@ -157,6 +157,13 @@ class MetricRegistry:
             h = self._histograms[k] = Histogram(max_samples)
         return h
 
+    def merge_counters(self, counts: dict, **labels) -> None:
+        """Fold a plain ``{name: amount}`` mapping into this registry's
+        counters (the worker-telemetry merge path: rank workers count
+        locally and the parent aggregates into one process-wide view)."""
+        for name, amount in counts.items():
+            self.counter(name, **labels).inc(float(amount))
+
     # -- introspection -------------------------------------------------
     def snapshot(self) -> dict:
         """All instruments as one JSON-ready dict."""

@@ -28,6 +28,7 @@ Figure 7b falls out of the same event stream as Figure 7c.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -222,6 +223,46 @@ class Tracer:
     def span(self, name: str, **attrs) -> Span:
         return Span(self, name, attrs)
 
+    def emit_foreign(self, events: list[dict], **extra_attrs) -> None:
+        """Merge span events captured elsewhere (a worker thread or a
+        worker process, serialized via ``SpanEvent.as_dict``) into this
+        tracer's stream.
+
+        Span ids are remapped into this tracer's id space; foreign
+        top-level spans attach to the currently open span (if any), so a
+        rank's ``fekf.forward`` lands under the parent's
+        ``parallel.compute`` exactly as the serial path would nest it.
+        ``t_start`` stays relative to the *worker's* tracer epoch --
+        consumers that need a global timeline should order by span id.
+        """
+        if not events:
+            return
+        parent = self._open_stack[-1] if self._open_stack else None
+        base_parent_id = parent.span_id if parent is not None else None
+        base_depth = parent.depth + 1 if parent is not None else 0
+        idmap: dict[int, int] = {}
+        for d in events:
+            idmap[d["span_id"]] = self._next_id
+            self._next_id += 1
+        # foreign events arrive in close order (children first); re-emit
+        # in open order so parents keep smaller ids than their children
+        for d in sorted(events, key=lambda d: d["span_id"]):
+            ev = SpanEvent(
+                name=d["name"],
+                span_id=idmap[d["span_id"]],
+                parent_id=idmap.get(d.get("parent_id"), base_parent_id),
+                depth=base_depth + d.get("depth", 0),
+                t_start=d.get("t_start", 0.0),
+                wall_s=d["wall_s"],
+                cpu_s=d.get("cpu_s", 0.0),
+                attrs={**d.get("attrs", {}), **extra_attrs},
+                counters=dict(d.get("counters", {})),
+            )
+            if self.keep_events:
+                self.events.append(ev)
+            for sink in self.sinks:
+                sink(ev)
+
     def summary(self) -> dict:
         """Aggregate retained events by span name (see ``export.summarize``)."""
         from .export import summarize
@@ -229,38 +270,61 @@ class Tracer:
         return summarize(self.events)
 
     def __enter__(self) -> "Tracer":
-        _STACK.append(self)
+        _stack().append(self)
         return self
 
     def __exit__(self, *exc) -> None:
-        if self in _STACK:
-            _STACK.remove(self)
+        stack = _stack()
+        if self in stack:
+            stack.remove(self)
 
 
-#: stack of installed tracers; spans report to the innermost one
-_STACK: list[Tracer] = []
+class _TracerStack(threading.local):
+    """Per-thread stack of installed tracers.
+
+    Thread-locality is what lets rank workers (ThreadExecutor) capture
+    spans under their *own* tracer while the parent thread's tracer keeps
+    its open-span stack intact -- a shared stack would interleave
+    open/close events from concurrent threads and corrupt parent linkage.
+    A tracer installed on the main thread therefore does NOT see spans
+    opened on other threads; workers return their events for merge via
+    :meth:`Tracer.emit_foreign` instead.
+    """
+
+    def __init__(self):
+        self.tracers: list[Tracer] = []
+
+
+_LOCAL = _TracerStack()
+
+
+def _stack() -> list[Tracer]:
+    return _LOCAL.tracers
 
 
 def current_tracer() -> Optional[Tracer]:
-    """The innermost active tracer, or ``None``."""
-    return _STACK[-1] if _STACK else None
+    """The innermost tracer active on the calling thread, or ``None``."""
+    stack = _stack()
+    return stack[-1] if stack else None
 
 
 def span(name: str, **attrs):
     """Open a span on the active tracer (no-op when tracing is off)."""
-    if not _STACK:
+    stack = _stack()
+    if not stack:
         return NULL_SPAN
-    return _STACK[-1].span(name, **attrs)
+    return stack[-1].span(name, **attrs)
 
 
 def enable(*sinks, capture_kernels: bool = False, keep_events: bool = True) -> Tracer:
-    """Install a process-wide tracer (idempotent layering is allowed:
+    """Install a thread-wide tracer (idempotent layering is allowed:
     nested ``enable`` calls stack, ``disable`` pops the innermost)."""
     tracer = Tracer(sinks, capture_kernels=capture_kernels, keep_events=keep_events)
-    _STACK.append(tracer)
+    _stack().append(tracer)
     return tracer
 
 
 def disable() -> Optional[Tracer]:
-    """Remove the innermost process-wide tracer and return it."""
-    return _STACK.pop() if _STACK else None
+    """Remove the innermost installed tracer and return it."""
+    stack = _stack()
+    return stack.pop() if stack else None

@@ -61,6 +61,28 @@ class TestLoader:
         b = np.concatenate(list(iter(loader)))
         assert not np.array_equal(a, b)
 
+    def test_iter_replays_explicit_epoch_sequence(self):
+        """Consecutive full passes over the loader are reproducible via
+        epoch(0), epoch(1), ... -- the cursor is the only iterator state."""
+        loader = BatchLoader(_ds(8), 2, seed=3)
+        ref = BatchLoader(_ds(8), 2, seed=3)
+        a = np.concatenate(list(loader))
+        b = np.concatenate(list(loader))
+        assert np.array_equal(a, np.concatenate(list(ref.epoch(0))))
+        assert np.array_equal(b, np.concatenate(list(ref.epoch(1))))
+
+    def test_epoch_query_does_not_mutate_cursor(self):
+        """Neither epoch(i), epoch(), nor an unconsumed iter() advances
+        the cursor; only exhausting an iterator does."""
+        loader = BatchLoader(_ds(8), 2, seed=3)
+        ref = BatchLoader(_ds(8), 2, seed=3)
+        list(loader.epoch(5))   # explicit index: pure
+        list(loader.epoch())    # cursor read: pure
+        it = iter(loader)       # created but not consumed: pure
+        next(it)                # even partially consumed: pure
+        a = np.concatenate(list(loader))
+        assert np.array_equal(a, np.concatenate(list(ref.epoch(0))))
+
 
 @settings(max_examples=30, deadline=None)
 @given(st.integers(1, 30), st.integers(1, 8), st.integers(0, 100))

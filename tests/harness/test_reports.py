@@ -48,6 +48,7 @@ class TestRegistry:
         expected = {
             "table1", "table3", "table4", "table5", "figure4",
             "figure7a", "figure7b", "figure7c", "memory", "scaling",
+            "scaling_walltime",
             "figure1", "ablations", "ablation_lambda_nu", "ablation_dataflow",
             "ablation_force_graph",
         }

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.parallel import CostModel, SimCommunicator, allreduce_volume_bytes
+from repro.parallel import (
+    CostModel,
+    SimCommunicator,
+    allreduce_volume_bytes,
+    broadcast_volume_bytes,
+)
 
 
 class TestRingAllreduce:
@@ -82,6 +87,21 @@ class TestOtherCollectives:
         assert all(np.array_equal(o, np.arange(4.0)) for o in out)
         out[0][0] = 99.0
         assert out[1][0] == 0.0  # independent copies
+
+    @pytest.mark.parametrize("world", [1, 2, 3, 4, 5, 8, 16])
+    def test_broadcast_ledger_matches_closed_form(self, world):
+        """A binomial-tree broadcast delivers the payload to each of the
+        r-1 non-root ranks exactly once: (r-1)/r * nbytes per rank on
+        average, over ceil(log2 r) steps."""
+        n = 100
+        comm = SimCommunicator(world)
+        comm.broadcast(np.ones(n))
+        closed = broadcast_volume_bytes(n, world)
+        assert closed == pytest.approx((world - 1) / world * n * 8.0)
+        assert comm.ledger.bytes_sent_per_rank == pytest.approx(closed, rel=1e-9)
+        expected_steps = 0 if world == 1 else int(np.ceil(np.log2(world)))
+        assert comm.ledger.steps == expected_steps
+        assert comm.ledger.calls == 1
 
 
 class TestCostModel:
