@@ -65,3 +65,37 @@ def test_events_flow_during_training(cu_data, cfg):
     assert {"train.run", "train.step", "train.eval",
             "fekf.update", "fekf.forward", "fekf.gradient",
             "fekf.kalman"} <= names
+
+
+def test_profiler_off_overhead_under_5_percent(cu_data, cfg):
+    """The profiler must be pay-for-what-you-use: after an install/
+    uninstall cycle (a completed ``Tracer(profile=True)`` scope), the
+    no-profiler path must run within the same <5% budget -- i.e. the
+    shape-forwarding gate in ``make_op`` is really off again."""
+    from repro.autograd import instrument as _instrument
+
+    # exercise one full profiler lifecycle first, then measure with it off
+    with Tracer(keep_events=False, profile=True):
+        pass
+    assert not _instrument.shapes_wanted()
+    off = min(_run_once(cu_data, cfg) for _ in range(3))
+    cycled = min(_run_once(cu_data, cfg) for _ in range(3))
+    overhead = cycled / off - 1.0
+    assert overhead < 0.05, (
+        f"post-profiler overhead {overhead:.1%} (before {off:.3f}s, "
+        f"after {cycled:.3f}s) exceeds the 5% budget"
+    )
+
+
+def test_profiled_step_records_phases(cu_data, cfg):
+    """A profiled run yields op events in every FEKF phase and a valid
+    Chrome trace (the live Figure 7(b) view)."""
+    from repro.telemetry import validate_chrome_trace
+
+    tracer = Tracer(keep_events=True, profile=True)
+    _run_once(cu_data, cfg, tracer=tracer)
+    phases = tracer.profiler.phase_kernel_counts()
+    for phase in ("forward_energy", "backward", "kf_update"):
+        assert phases.get(phase, 0) > 0, f"no ops attributed to {phase}"
+    report = validate_chrome_trace(tracer.chrome_trace())
+    assert report["events"] > 0

@@ -14,15 +14,78 @@ hand-written symmetry-descriptor derivative) count as a *single* launch, so
 the baseline/opt1/opt2/opt3 presets show the same qualitative reduction the
 paper reports (397 -> 174 kernels for an energy update, 846 -> 281 for a
 force update).
+
+Sink stacks are **thread-local** (mirroring the tracer stacks of
+:mod:`repro.telemetry.trace`): a counter opened on the main thread does not
+see ops executed by rank-worker threads, and a worker's counter never
+contaminates the parent's tally.  Workers that want their ops counted open
+their own sink locally and ship the result back for an explicit merge.
+
+Richer sinks (the op-level profiler of :mod:`repro.telemetry.profile`) can
+additionally receive the output shape and operand shapes of each primitive
+op -- the inputs of a FLOP estimate.  Shape forwarding is gated on
+:data:`_WANT_SHAPES` so the common no-profiler path never builds the shape
+tuples.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Optional
 
-_ACTIVE: list["KernelCounter"] = []
+#: number of installed sinks (across all threads) that want operand shapes;
+#: checked by ``make_op`` before building shape tuples
+_WANT_SHAPES = 0
+_WANT_SHAPES_LOCK = threading.Lock()
+
+
+class _SinkStack(threading.local):
+    """Per-thread stack of active launch sinks.
+
+    Thread-locality is load-bearing: under the thread executor every rank
+    runs ops concurrently, and a process-wide list would interleave every
+    rank's launches into whichever counter the parent happened to open
+    (corrupting the Figure 7(b) accounting).  Each thread counts only what
+    it executes; cross-thread aggregation is an explicit merge.
+    """
+
+    def __init__(self):
+        self.sinks: list = []
+
+
+_TLS = _SinkStack()
+
+
+def push_sink(sink, wants_shapes: bool = False) -> None:
+    """Install ``sink`` (anything with a ``record`` method) on the calling
+    thread's stack.  ``wants_shapes=True`` additionally turns on operand
+    shape forwarding for the duration."""
+    global _WANT_SHAPES
+    _TLS.sinks.append(sink)
+    if wants_shapes:
+        with _WANT_SHAPES_LOCK:
+            _WANT_SHAPES += 1
+
+
+def remove_sink(sink, wants_shapes: bool = False) -> None:
+    """Remove the innermost occurrence of ``sink`` from the calling
+    thread's stack (no-op if absent)."""
+    global _WANT_SHAPES
+    sinks = _TLS.sinks
+    for i in range(len(sinks) - 1, -1, -1):
+        if sinks[i] is sink:
+            del sinks[i]
+            if wants_shapes:
+                with _WANT_SHAPES_LOCK:
+                    _WANT_SHAPES = max(_WANT_SHAPES - 1, 0)
+            break
+
+
+def shapes_wanted() -> bool:
+    """Whether any installed sink (on any thread) wants operand shapes."""
+    return _WANT_SHAPES > 0
 
 
 @dataclass(eq=False)
@@ -31,7 +94,7 @@ class KernelCounter:
 
     Identity (not value) equality: counters are mutable accumulators and
     may nest -- two counters opened back-to-back hold identical tallies,
-    and the ``_ACTIVE`` bookkeeping must never confuse them.
+    and the sink-stack bookkeeping must never confuse them.
 
     Use as a context manager::
 
@@ -44,7 +107,7 @@ class KernelCounter:
     launches: Counter = field(default_factory=Counter)
     bytes_allocated: int = 0
 
-    def record(self, op_name: str, nbytes: int = 0) -> None:
+    def record(self, op_name: str, nbytes: int = 0, out_shape=None, in_shapes=None) -> None:
         self.launches[op_name] += 1
         self.bytes_allocated += int(nbytes)
 
@@ -61,26 +124,32 @@ class KernelCounter:
         self.bytes_allocated = 0
 
     def __enter__(self) -> "KernelCounter":
-        _ACTIVE.append(self)
+        push_sink(self)
         return self
 
     def __exit__(self, *exc) -> None:
-        for i in range(len(_ACTIVE) - 1, -1, -1):
-            if _ACTIVE[i] is self:
-                del _ACTIVE[i]
-                break
+        remove_sink(self)
 
     def breakdown(self, top: int = 10) -> list[tuple[str, int]]:
         """The ``top`` most-launched op names, descending."""
         return self.launches.most_common(top)
 
 
-def record_launch(op_name: str, nbytes: int = 0) -> None:
-    """Report one kernel launch to every active counter (nestable)."""
-    for counter in _ACTIVE:
-        counter.record(op_name, nbytes)
+def record_launch(op_name: str, nbytes: int = 0, out_shape=None, in_shapes=None) -> None:
+    """Report one kernel launch to every sink active on this thread.
+
+    ``out_shape`` / ``in_shapes`` are only supplied by the op dispatch when
+    a shape-hungry sink (the profiler) is installed; plain counters ignore
+    them.
+    """
+    for sink in _TLS.sinks:
+        sink.record(op_name, nbytes, out_shape, in_shapes)
 
 
 def active_counter() -> Optional[KernelCounter]:
-    """The innermost active counter, or ``None``."""
-    return _ACTIVE[-1] if _ACTIVE else None
+    """The innermost active :class:`KernelCounter` on this thread, or
+    ``None`` (profiler/metric sinks are skipped)."""
+    for sink in reversed(_TLS.sinks):
+        if isinstance(sink, KernelCounter):
+            return sink
+    return None

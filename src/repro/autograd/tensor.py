@@ -26,6 +26,7 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 import numpy as np
 
 from .config import config, enable_grad, no_grad
+from . import instrument as _instrument
 from .instrument import record_launch
 
 ArrayLike = Union[np.ndarray, float, int, list, tuple]
@@ -228,9 +229,17 @@ def make_op(
     they may issue several numpy calls internally) and wires the graph edge
     if grad mode is on and any parent requires grad.
     """
-    for _ in range(launches):
-        record_launch(op, data.nbytes // max(launches, 1))
     parents = tuple(parents)
+    nb = data.nbytes // max(launches, 1)
+    if _instrument._WANT_SHAPES:
+        # a profiler is live somewhere: forward the shapes it needs for
+        # FLOP estimation (the common path skips the tuple build entirely)
+        in_shapes = tuple(p.data.shape for p in parents)
+        for _ in range(launches):
+            record_launch(op, nb, data.shape, in_shapes)
+    else:
+        for _ in range(launches):
+            record_launch(op, nb)
     rg = config.grad_enabled and any(p.requires_grad for p in parents)
     out = Tensor(data, requires_grad=rg)
     if rg:

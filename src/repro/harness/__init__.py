@@ -9,8 +9,9 @@ Run from the command line::
 or call the per-experiment ``run`` functions directly.
 """
 
-from . import ablations, figure1, figure4, figure7, memory, scaling, table1, table3, table4, table5
+from . import ablations, figure1, figure4, figure7, memory, profile, scaling, table1, table3, table4, table5
 from .common import Report
+from .manifest import build_manifest, write_manifest
 
 #: experiment name -> zero-/keyword-arg callable returning a Report
 EXPERIMENTS = {
@@ -30,6 +31,7 @@ EXPERIMENTS = {
     "ablation_lambda_nu": ablations.run_lambda_nu,
     "ablation_dataflow": ablations.run_funnel_vs_fusiform,
     "ablation_force_graph": ablations.run_force_graph_reuse,
+    "profile": profile.run,
 }
 
-__all__ = ["EXPERIMENTS", "Report"]
+__all__ = ["EXPERIMENTS", "Report", "build_manifest", "write_manifest"]

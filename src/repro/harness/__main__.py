@@ -4,9 +4,11 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import os
 import sys
 import time
 
+from ..telemetry import span as _span
 from . import EXPERIMENTS
 
 
@@ -41,39 +43,91 @@ def main(argv: list[str] | None = None) -> int:
         "--heavy", action="store_true",
         help="full-scale sweeps for 'report' (slow)",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=os.environ.get("REPRO_TRACE_OUT") or None,
+        metavar="PATH",
+        help="profile the run and write a Chrome trace-event JSON here "
+        "(open in Perfetto / chrome://tracing), plus the span JSONL and a "
+        "BENCH_<experiment>.json run manifest next to it "
+        "(default: $REPRO_TRACE_OUT)",
+    )
     args = parser.parse_args(argv)
-
-    if args.experiment == "report":
-        from .report import generate
-
-        generate(args.out, systems=args.systems, heavy=args.heavy)
-        return 0
 
     if args.experiment == "list":
         for name in EXPERIMENTS:
             print(name)
         return 0
 
-    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        if name not in EXPERIMENTS:
-            print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
-            return 2
-        fn = EXPERIMENTS[name]
-        kwargs = {}
-        sig = inspect.signature(fn)
-        if "systems" in sig.parameters and args.systems is not None:
-            kwargs["systems"] = args.systems
-        if "frames_per_temperature" in sig.parameters and args.frames is not None:
-            kwargs["frames_per_temperature"] = args.frames
-        if "seed" in sig.parameters:
-            kwargs["seed"] = args.seed
-        t0 = time.perf_counter()
-        report = fn(**kwargs)
-        elapsed = time.perf_counter() - t0
-        print(report.markdown() if args.markdown else report.format_table())
-        print(f"[{name} completed in {elapsed:.1f}s]\n")
+    tracer = None
+    if args.trace_out:
+        from .. import telemetry
+
+        tracer = telemetry.enable(capture_kernels=True, profile=True)
+
+    metrics: dict = {}
+    try:
+        if args.experiment == "report":
+            from .report import generate
+
+            generate(args.out, systems=args.systems, heavy=args.heavy)
+        else:
+            names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+            for name in names:
+                if name not in EXPERIMENTS:
+                    print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
+                    return 2
+                fn = EXPERIMENTS[name]
+                kwargs = {}
+                sig = inspect.signature(fn)
+                if "systems" in sig.parameters and args.systems is not None:
+                    kwargs["systems"] = args.systems
+                if "frames_per_temperature" in sig.parameters and args.frames is not None:
+                    kwargs["frames_per_temperature"] = args.frames
+                if "seed" in sig.parameters:
+                    kwargs["seed"] = args.seed
+                t0 = time.perf_counter()
+                # a no-op span unless --trace-out installed a tracer; with
+                # one, every experiment gets a top-level extent in the
+                # exported trace (even purely analytic ones)
+                with _span("harness.experiment", experiment=name):
+                    report = fn(**kwargs)
+                elapsed = time.perf_counter() - t0
+                print(report.markdown() if args.markdown else report.format_table())
+                print(f"[{name} completed in {elapsed:.1f}s]\n")
+                metrics[f"{name}.seconds"] = elapsed
+                metrics[f"{name}.rows"] = len(report.rows)
+    finally:
+        if tracer is not None:
+            _finish_trace(tracer, args, metrics)
     return 0
+
+
+def _finish_trace(tracer, args: argparse.Namespace, metrics: dict) -> None:
+    """Uninstall the profiling tracer and write the --trace-out bundle:
+    Chrome trace, span JSONL, and the BENCH_<experiment>.json manifest."""
+    from .. import telemetry
+    from .manifest import write_manifest
+
+    telemetry.disable()
+    path = args.trace_out
+    telemetry.write_chrome_trace(path, tracer=tracer)
+    base, _ = os.path.splitext(path)
+    jsonl_path = base + ".spans.jsonl"
+    with telemetry.JsonlExporter(jsonl_path) as out:
+        for ev in tracer.events:
+            out(ev)
+        out.write_metrics(telemetry.REGISTRY)
+    metrics["registry"] = telemetry.REGISTRY.snapshot()
+    manifest_path = write_manifest(
+        os.path.dirname(os.path.abspath(path)),
+        args.experiment,
+        config={k: v for k, v in vars(args).items() if v is not None},
+        metrics=metrics,
+        tracer=tracer,
+    )
+    print(f"[trace written to {path}; spans to {jsonl_path}; "
+          f"manifest to {manifest_path}]")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,106 @@
+"""Run manifests: one ``BENCH_<name>.json`` per harness/bench run.
+
+A manifest is the machine-readable record of one run -- what produced it
+(git sha, CLI config), what it measured (headline metrics), and how it
+spent its time (span summary plus, when the run was profiled, the
+per-phase op breakdown and hottest ops).  Schema ``repro.bench/v1``::
+
+    {
+      "schema": "repro.bench/v1",
+      "name": "<experiment or bench name>",
+      "created_unix": <float>,
+      "git_sha": "<sha or null>",
+      "config": {...},            # CLI args / bench parameters
+      "metrics": {...},           # headline numbers + registry snapshot
+      "spans": {name: {count, wall_s, ...}},       # when traced
+      "profile": {                                 # when profiled
+        "phases": {phase: {kernels, wall_s, bytes, flops}},
+        "top_ops": {op: {count, wall_s, bytes, flops}},
+        "dropped_events": <int>
+      }
+    }
+
+so two runs (two PRs, two machines, two presets) diff with plain ``jq``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from typing import Optional
+
+__all__ = ["SCHEMA", "git_sha", "build_manifest", "write_manifest"]
+
+SCHEMA = "repro.bench/v1"
+
+
+def git_sha() -> Optional[str]:
+    """HEAD sha of the repo this package lives in, or None outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def build_manifest(
+    name: str,
+    config: Optional[dict] = None,
+    metrics: Optional[dict] = None,
+    tracer=None,
+    top_ops: int = 10,
+) -> dict:
+    """Assemble a ``repro.bench/v1`` manifest dict.
+
+    ``tracer`` (a :class:`repro.telemetry.Tracer`) contributes the span
+    summary and -- when it carries a profiler -- the per-phase breakdown
+    and hottest-ops table.
+    """
+    manifest = {
+        "schema": SCHEMA,
+        "name": name,
+        "created_unix": time.time(),
+        "git_sha": git_sha(),
+        "config": dict(config or {}),
+        "metrics": dict(metrics or {}),
+    }
+    if tracer is not None:
+        from ..telemetry.export import summarize
+
+        manifest["spans"] = summarize(tracer.events)
+        profiler = getattr(tracer, "profiler", None)
+        if profiler is not None:
+            ops = sorted(
+                profiler.ops_summary().items(), key=lambda kv: -kv[1]["wall_s"]
+            )[: max(top_ops, 0)]
+            manifest["profile"] = {
+                "phases": profiler.phase_summary(),
+                "top_ops": dict(ops),
+                "dropped_events": profiler.dropped,
+            }
+    return manifest
+
+
+def write_manifest(
+    directory: str,
+    name: str,
+    config: Optional[dict] = None,
+    metrics: Optional[dict] = None,
+    tracer=None,
+) -> str:
+    """Write ``BENCH_<name>.json`` into ``directory``; returns the path."""
+    manifest = build_manifest(name, config=config, metrics=metrics, tracer=tracer)
+    path = os.path.join(directory or ".", f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump(manifest, fh, indent=2, default=str)
+        fh.write("\n")
+    return path

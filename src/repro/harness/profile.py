@@ -1,0 +1,100 @@
+"""Profiling experiment: a short FEKF train under the op-level profiler.
+
+Runs a few optimized-FEKF training steps with ``Tracer(profile=True)``
+and reports the live per-phase breakdown -- kernel launches, wall
+milliseconds, bytes moved, and estimated MFLOP per phase (the Figure
+7(b)-style view, measured on a *real* training step rather than the
+isolated ``profile_update`` probe).  This is also the CI profiling smoke
+target::
+
+    python -m repro.harness profile --trace-out profile-trace.json
+
+which additionally writes the Chrome trace (open it in Perfetto), the
+span JSONL, and the ``BENCH_profile.json`` run manifest next to it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..model.environment import make_batch
+from ..optim.ekf import FEKF
+from ..telemetry.profile import format_ops_table, summarize_ops, summarize_phases
+from ..telemetry.trace import Tracer, current_tracer
+from .common import Report, experiment_setup, fast_kalman, parse_systems
+
+
+def run(
+    systems: str | None = None,
+    steps: int = 2,
+    batch_size: int = 8,
+    frames_per_temperature: int = 8,
+    seed: int = 0,
+) -> Report:
+    """Profile ``steps`` FEKF training steps on one system (the first of
+    ``systems``; default Cu) and report the per-phase op breakdown."""
+    system = parse_systems(systems)[0]
+    setup = experiment_setup(
+        system, frames_per_temperature=frames_per_temperature, seed=seed
+    )
+    model = setup.model(seed=1)
+    opt = FEKF(model, fast_kalman(), fused_env=True, seed=seed)
+    idx = np.arange(min(batch_size, setup.train.n_frames))
+    batch = make_batch(setup.train, idx, setup.cfg)
+
+    # profile under the ambient tracer when the CLI already installed a
+    # profiling one (--trace-out), else under our own scoped tracer
+    ambient = current_tracer()
+    if ambient is not None and ambient.profiler is not None:
+        tracer, own = ambient, None
+    else:
+        tracer = own = Tracer(capture_kernels=True, profile=True)
+        own.__enter__()
+    start = len(tracer.profiler.events)
+    try:
+        for step in range(steps):
+            with tracer.span("train.step", step=step):
+                opt.step_batch(batch)
+    finally:
+        if own is not None:
+            own.__exit__(None, None, None)
+    events = tracer.profiler.events[start:]
+
+    report = Report(
+        experiment="profile",
+        title=f"op-level profile of {steps} FEKF steps ({system}, bs={len(idx)})",
+        headers=["Phase", "kernels", "wall ms", "MB moved", "MFLOP"],
+        paper_reference="Fig 7b: per-phase kernel launches of one FEKF iteration",
+    )
+    phases = summarize_phases(events)
+    total = {"kernels": 0, "wall_s": 0.0, "bytes": 0, "flops": 0.0}
+    for phase, agg in sorted(phases.items(), key=lambda kv: -kv[1]["wall_s"]):
+        report.add_row(
+            phase,
+            agg["kernels"],
+            agg["wall_s"] * 1e3,
+            agg["bytes"] / (1024 * 1024),
+            agg["flops"] / 1e6,
+        )
+        for k in total:
+            total[k] += agg[k]
+    report.add_row(
+        "total",
+        total["kernels"],
+        total["wall_s"] * 1e3,
+        total["bytes"] / (1024 * 1024),
+        total["flops"] / 1e6,
+    )
+    top = sorted(
+        summarize_ops(events).items(), key=lambda kv: -kv[1]["wall_s"]
+    )[:3]
+    report.notes.append(
+        "hottest ops: "
+        + ", ".join(f"{name} ({agg['wall_s'] * 1e3:.1f} ms)" for name, agg in top)
+    )
+    report.notes.append(
+        "full top-K table: telemetry.format_ops_table(tracer.profiler.events)"
+    )
+    # keep the rendered ops table importable for the CLI / docs
+    report.ops_table = format_ops_table(events)  # type: ignore[attr-defined]
+    return report

@@ -244,7 +244,7 @@ class FEKF:
             if self.step_scale is None
             else float(self.step_scale)
         )
-        with _span("fekf.update", kind="energy"):
+        with _span("fekf.update", kind="energy", step=self.step_count):
             g, e_abe = self._energy_gradient(batch)
             with _span("fekf.kalman"):
                 dw = self.kalman.update(g, e_abe, scale)
@@ -253,7 +253,7 @@ class FEKF:
         f_abes = []
         shared = self._force_graph(batch) if self.reuse_force_graph else None
         for gi, group in enumerate(self._force_groups(batch.n_atoms)):
-            with _span("fekf.update", kind="force", group=gi):
+            with _span("fekf.update", kind="force", group=gi, step=self.step_count):
                 if shared is not None:
                     g, f_abe = self._force_group_gradient(*shared, batch, group)
                 else:

@@ -34,6 +34,7 @@ executor's retry/fallback machinery is exercised without monkeypatching.
 from __future__ import annotations
 
 import copy
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
@@ -92,12 +93,18 @@ class WorkerTelemetry:
     """
 
     rank: int = 0
+    #: OS pid of the worker (distinguishes process-executor tracks from
+    #: in-process ranks in the merged Chrome trace)
+    pid: int = 0
     wall_s: float = 0.0
     cpu_s: float = 0.0
     counters: dict = field(default_factory=dict)
     #: ``SpanEvent.as_dict()`` payloads captured under a worker-local
     #: tracer (empty unless the parent asked for capture)
     spans: list = field(default_factory=list)
+    #: ``OpEvent.as_dict()`` payloads from a worker-local profiler
+    #: (empty unless the parent asked for ``capture="profile"``)
+    ops: list = field(default_factory=list)
 
 
 @dataclass
@@ -135,6 +142,12 @@ TASK_METHODS = frozenset(
         "force_task",
     }
 )
+
+#: compute tasks wrapped in a ``worker.task`` span under capture, and the
+#: update kind each contributes to (phase attribution for the profiler;
+#: ``graph_task`` has no kind -- it is the shared force-graph build)
+_COMPUTE_TASKS = frozenset({"energy_task", "graph_task", "force_task"})
+_TASK_KIND = {"energy_task": "energy", "force_task": "force"}
 
 
 class GradientWorker:
@@ -294,9 +307,17 @@ class GradientWorker:
     # ------------------------------------------------------------------
     # executor entry point
     # ------------------------------------------------------------------
-    def run(self, method: str, args: tuple = (), capture: bool = False) -> TaskResult:
+    def run(
+        self, method: str, args: tuple = (), capture: "bool | str" = False
+    ) -> TaskResult:
         """Dispatch one task, measuring wall/CPU time and (optionally)
-        capturing telemetry spans under a worker-local tracer."""
+        capturing telemetry spans under a worker-local tracer.
+
+        ``capture="profile"`` additionally attaches a worker-local
+        op-level profiler, so the task's primitive-op timeline rides back
+        in :attr:`WorkerTelemetry.ops` for the parent to merge into its
+        own profiler (one rank-tagged track per worker in the exported
+        Chrome trace)."""
         if method not in TASK_METHODS:
             raise ValueError(f"unknown worker task {method!r}")
         if self.fault is not None:
@@ -304,20 +325,36 @@ class GradientWorker:
         t0 = time.perf_counter()
         c0 = time.process_time()
         if capture:
-            with Tracer(keep_events=True) as tracer:
-                payload = getattr(self, method)(*args)
+            with Tracer(keep_events=True, profile=capture == "profile") as tracer:
+                if method in _COMPUTE_TASKS:
+                    attrs = {"method": method}
+                    kind = _TASK_KIND.get(method)
+                    if kind is not None:
+                        attrs["kind"] = kind
+                    with tracer.span("worker.task", **attrs):
+                        payload = getattr(self, method)(*args)
+                else:
+                    payload = getattr(self, method)(*args)
             spans = [e.as_dict() for e in tracer.events]
+            ops = (
+                [o.as_dict() for o in tracer.profiler.events]
+                if tracer.profiler is not None
+                else []
+            )
         else:
             payload = getattr(self, method)(*args)
             spans = []
+            ops = []
         wall = time.perf_counter() - t0
         cpu = time.process_time() - c0
         telemetry = WorkerTelemetry(
             rank=self.rank,
+            pid=os.getpid(),
             wall_s=wall,
             cpu_s=cpu,
             counters={"parallel.worker_tasks": 1.0},
             spans=spans,
+            ops=ops,
         )
         return TaskResult(payload=payload, telemetry=telemetry)
 

@@ -196,6 +196,7 @@ class DistributedFEKF:
         returns the max rank wall time (the simulated-cluster compute
         cost of the round)."""
         tracer = current_tracer()
+        profiler = tracer.profiler if tracer is not None else None
         ex = self.executor.name
         max_wall = 0.0
         for res in results:
@@ -205,7 +206,11 @@ class DistributedFEKF:
             if tel.counters:
                 _metrics.REGISTRY.merge_counters(tel.counters, executor=ex)
             if tracer is not None and tel.spans:
-                tracer.emit_foreign(tel.spans, rank=tel.rank, executor=ex)
+                tracer.emit_foreign(
+                    tel.spans, rank=tel.rank, pid=tel.pid, executor=ex
+                )
+            if profiler is not None and tel.ops:
+                profiler.emit_foreign(tel.ops, rank=tel.rank, pid=tel.pid)
         return max_wall
 
     def _round(
@@ -318,7 +323,11 @@ class DistributedFEKF:
         bs = batch.batch_size
         scale = float(np.sqrt(bs))
         comm_t0 = self.comm.modeled_time_s
-        capture = current_tracer() is not None
+        tracer = current_tracer()
+        # profiling parents ask workers for the op timeline too
+        capture: "bool | str" = tracer is not None
+        if tracer is not None and tracer.profiler is not None:
+            capture = "profile"
 
         # ---- distribute shards ---------------------------------------
         results = self._round([("set_shard", (s,)) for s in shards], False)

@@ -24,6 +24,8 @@ import numpy as np
 
 from ..optim.blocks import Block, split_blocks
 from ..optim.kalman import KalmanConfig, KalmanState
+from ..telemetry import metrics as _metrics
+from ..telemetry.trace import span as _span
 
 MB = 1024 * 1024
 
@@ -98,9 +100,12 @@ def measured_update_peak(
     rng = np.random.default_rng(0)
     g = rng.normal(size=num) * 0.1
     state.update(g, 0.1, 1.0)  # warm any lazy allocations
-    tracemalloc.start()
-    for _ in range(n_updates):
-        state.update(rng.normal(size=num) * 0.1, 0.1, 1.0)
-    _, peak = tracemalloc.get_traced_memory()
-    tracemalloc.stop()
-    return peak / MB
+    with _span("perf.memory_peak", fused=fused, blocksize=blocksize):
+        tracemalloc.start()
+        for _ in range(n_updates):
+            state.update(rng.normal(size=num) * 0.1, 0.1, 1.0)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    peak_mb = peak / MB
+    _metrics.REGISTRY.gauge("perf.update_peak_mb", fused=fused).set(peak_mb)
+    return peak_mb

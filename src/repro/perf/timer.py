@@ -21,7 +21,7 @@ flavour becomes the reported profile.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable
 
 from ..model.environment import DescriptorBatch
@@ -58,6 +58,13 @@ class UpdateProfile:
     preset: str
     energy: PhaseProfile
     force: PhaseProfile
+    #: live per-phase launch counts from the op-level profiler
+    #: (:meth:`repro.telemetry.Profiler.phase_kernel_counts`) over the
+    #: whole profiled step; empty when the step ran without a profiler.
+    #: Reconciles with the span-derived counts above: ``forward_energy``
+    #: equals ``energy.forward_kernels`` and the step total equals
+    #: :meth:`total_iteration_kernels` (see the telemetry tests).
+    phase_kernels: dict = field(default_factory=dict)
 
     def total_iteration_kernels(self, n_force_splits: int = 4) -> int:
         """Paper convention: one energy update + four force updates."""
@@ -128,15 +135,18 @@ def profile_update(
 
     Runs a real ``opt.step_batch`` (paper-exact per-update protocol:
     force-graph reuse disabled for the duration) inside a
-    kernel-capturing tracer and derives the profile from the span
-    events via :func:`profile_from_events`.
+    kernel-capturing, op-profiling tracer and derives the profile from
+    the span events via :func:`profile_from_events`; the op timeline's
+    live per-phase launch counts ride along as ``phase_kernels``.
     """
     old_reuse = opt.reuse_force_graph
     opt.reuse_force_graph = False
     try:
         with preset.context():
-            with Tracer(capture_kernels=True) as tracer:
+            with Tracer(capture_kernels=True, profile=True) as tracer:
                 opt.step_batch(batch)
     finally:
         opt.reuse_force_graph = old_reuse
-    return profile_from_events(tracer.events, preset=preset.name)
+    profile = profile_from_events(tracer.events, preset=preset.name)
+    profile.phase_kernels = tracer.profiler.phase_kernel_counts()
+    return profile

@@ -13,6 +13,11 @@ kernel-launch counter):
   optimizer updates).
 * exporters -- JSONL event stream (:class:`JsonlExporter`), aggregated
   summaries (:func:`summarize`), human tables (:func:`format_table`).
+* :mod:`profile` -- the op-level profiler (``Tracer(profile=True)`` /
+  ``enable(profile=True)``): a timed, span-attributed timeline of every
+  primitive-op launch with FLOP/byte estimates, per-phase Figure 7(b)
+  breakdowns, and Chrome trace-event export
+  (:func:`write_chrome_trace`, loadable in Perfetto).
 
 Quick start::
 
@@ -27,8 +32,18 @@ Tracing is off by default and costs one global check per span, so
 instrumented code runs at full speed when nobody is watching.
 """
 
-from . import metrics
+from . import metrics, profile
 from .export import JsonlExporter, format_table, read_jsonl, summarize
+from .profile import (
+    OpEvent,
+    Profiler,
+    format_ops_table,
+    summarize_ops,
+    summarize_phases,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from .metrics import (
     REGISTRY,
     MetricRegistry,
@@ -57,4 +72,13 @@ __all__ = [
     "read_jsonl",
     "summarize",
     "format_table",
+    "profile",
+    "OpEvent",
+    "Profiler",
+    "summarize_ops",
+    "summarize_phases",
+    "format_ops_table",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
 ]

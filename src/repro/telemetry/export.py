@@ -89,6 +89,11 @@ def read_jsonl(path: str) -> list[dict]:
 def summarize(events: Iterable[SpanEvent]) -> dict:
     """Aggregate span events by name.
 
+    Accepts :class:`SpanEvent` objects or their ``as_dict`` forms (what
+    :func:`read_jsonl` returns), so a summary computed from a re-read
+    JSONL file is identical to one computed live; non-span lines (metric
+    snapshots, op events) are skipped.
+
     Returns ``{name: {"count", "wall_s", "cpu_s", "mean_wall_s",
     "min_wall_s", "max_wall_s", "counters": {...summed...}}}``.
 
@@ -98,6 +103,10 @@ def summarize(events: Iterable[SpanEvent]) -> dict:
     """
     out: dict[str, dict] = {}
     for ev in events:
+        if isinstance(ev, dict):
+            if ev.get("type", "span") != "span":
+                continue
+            ev = SpanEvent.from_dict(ev)
         agg = out.get(ev.name)
         if agg is None:
             agg = out[ev.name] = {

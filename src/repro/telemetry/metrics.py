@@ -203,7 +203,7 @@ class _RegistryKernelSink:
     def __init__(self, registry: MetricRegistry):
         self.registry = registry
 
-    def record(self, op_name: str, nbytes: int = 0) -> None:
+    def record(self, op_name: str, nbytes: int = 0, out_shape=None, in_shapes=None) -> None:
         self.registry.counter("autograd.kernel_launches", op=op_name).inc()
         self.registry.counter("autograd.kernel_bytes").inc(nbytes)
 
@@ -212,17 +212,19 @@ _KERNEL_SINKS: list[_RegistryKernelSink] = []
 
 
 def enable_kernel_metrics(registry: MetricRegistry | None = None) -> None:
-    """Route every primitive-op launch into ``registry`` (default: the
-    process-wide one).  Per-op overhead -- scope it deliberately."""
+    """Route every primitive-op launch on the *calling thread* into
+    ``registry`` (default: the process-wide one).  Per-op overhead --
+    scope it deliberately.  Like tracer stacks, the launch sink stack is
+    thread-local: rank workers count under their own sinks and the parent
+    merges via :meth:`MetricRegistry.merge_counters`."""
     sink = _RegistryKernelSink(registry or REGISTRY)
     _KERNEL_SINKS.append(sink)
-    _instrument._ACTIVE.append(sink)  # type: ignore[arg-type]
+    _instrument.push_sink(sink)
 
 
 def disable_kernel_metrics() -> None:
-    """Undo the innermost :func:`enable_kernel_metrics`."""
+    """Undo the innermost :func:`enable_kernel_metrics` (same thread)."""
     if not _KERNEL_SINKS:
         return
     sink = _KERNEL_SINKS.pop()
-    if sink in _instrument._ACTIVE:
-        _instrument._ACTIVE.remove(sink)  # type: ignore[arg-type]
+    _instrument.remove_sink(sink)

@@ -80,6 +80,21 @@ class SpanEvent:
             "counters": self.counters,
         }
 
+    @classmethod
+    def from_dict(cls, d: dict) -> "SpanEvent":
+        """Inverse of :meth:`as_dict` (the JSONL round-trip)."""
+        return cls(
+            name=d["name"],
+            span_id=int(d.get("span_id", 0)),
+            parent_id=d.get("parent_id"),
+            depth=int(d.get("depth", 0)),
+            t_start=float(d.get("t_start", 0.0)),
+            wall_s=float(d.get("wall_s", 0.0)),
+            cpu_s=float(d.get("cpu_s", 0.0)),
+            attrs=dict(d.get("attrs", {})),
+            counters=dict(d.get("counters", {})),
+        )
+
 
 class Span:
     """An open span; context manager handed out by :meth:`Tracer.span`."""
@@ -172,6 +187,12 @@ class Tracer:
     keep_events:
         Retain completed events on :attr:`events` (default).  Disable for
         unbounded runs that only stream to sinks.
+    profile:
+        Attach a :class:`repro.telemetry.profile.Profiler`: while this
+        tracer is installed, every primitive-op launch on the installing
+        thread becomes a timed, span-attributed
+        :class:`~repro.telemetry.profile.OpEvent` on
+        ``tracer.profiler.events`` (the Chrome-trace op timeline).
     """
 
     def __init__(
@@ -179,6 +200,7 @@ class Tracer:
         sinks: tuple[Callable[[SpanEvent], None], ...] | list = (),
         capture_kernels: bool = False,
         keep_events: bool = True,
+        profile: bool = False,
     ):
         self.sinks = list(sinks)
         self.capture_kernels = bool(capture_kernels)
@@ -187,6 +209,12 @@ class Tracer:
         self._open_stack: list[Span] = []
         self._next_id = 0
         self._epoch = time.perf_counter()
+        if profile:
+            from .profile import Profiler  # lazy: profile imports this module
+
+            self.profiler: Optional["Profiler"] = Profiler(self)
+        else:
+            self.profiler = None
 
     # -- span lifecycle (called by Span) -------------------------------
     def _open(self, sp: Span) -> None:
@@ -197,12 +225,16 @@ class Tracer:
             sp.parent_id = parent.span_id
             sp.depth = parent.depth + 1
         self._open_stack.append(sp)
+        if self.profiler is not None:
+            self.profiler.mark()
 
     def _close(self, sp: Span, wall: float, cpu: float) -> None:
         if self._open_stack and self._open_stack[-1] is sp:
             self._open_stack.pop()
         else:  # out-of-order exit; drop without corrupting the stack
             self._open_stack = [s for s in self._open_stack if s is not sp]
+        if self.profiler is not None:
+            self.profiler.mark()
         event = SpanEvent(
             name=sp.name,
             span_id=sp.span_id,
@@ -269,14 +301,26 @@ class Tracer:
 
         return summarize(self.events)
 
+    def chrome_trace(self) -> dict:
+        """Render retained spans (+ profiler op timeline, if any) as a
+        Chrome trace-event object (see ``profile.to_chrome_trace``)."""
+        from .profile import to_chrome_trace
+
+        ops = self.profiler.events if self.profiler is not None else ()
+        return to_chrome_trace(self.events, ops)
+
     def __enter__(self) -> "Tracer":
         _stack().append(self)
+        if self.profiler is not None:
+            self.profiler.install()
         return self
 
     def __exit__(self, *exc) -> None:
         stack = _stack()
         if self in stack:
             stack.remove(self)
+        if self.profiler is not None:
+            self.profiler.uninstall()
 
 
 class _TracerStack(threading.local):
@@ -316,15 +360,32 @@ def span(name: str, **attrs):
     return stack[-1].span(name, **attrs)
 
 
-def enable(*sinks, capture_kernels: bool = False, keep_events: bool = True) -> Tracer:
+def enable(
+    *sinks,
+    capture_kernels: bool = False,
+    keep_events: bool = True,
+    profile: bool = False,
+) -> Tracer:
     """Install a thread-wide tracer (idempotent layering is allowed:
-    nested ``enable`` calls stack, ``disable`` pops the innermost)."""
-    tracer = Tracer(sinks, capture_kernels=capture_kernels, keep_events=keep_events)
+    nested ``enable`` calls stack, ``disable`` pops the innermost).
+    ``profile=True`` attaches the op-level profiler (see
+    :mod:`repro.telemetry.profile`)."""
+    tracer = Tracer(
+        sinks,
+        capture_kernels=capture_kernels,
+        keep_events=keep_events,
+        profile=profile,
+    )
     _stack().append(tracer)
+    if tracer.profiler is not None:
+        tracer.profiler.install()
     return tracer
 
 
 def disable() -> Optional[Tracer]:
     """Remove the innermost installed tracer and return it."""
     stack = _stack()
-    return stack.pop() if stack else None
+    tracer = stack.pop() if stack else None
+    if tracer is not None and tracer.profiler is not None:
+        tracer.profiler.uninstall()
+    return tracer

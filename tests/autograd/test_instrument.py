@@ -57,3 +57,72 @@ class TestKernelCounter:
         with KernelCounter() as kc:
             y.backward()
         assert kc.total_launches > 0
+
+
+class TestThreadLocalSinks:
+    """The launch-sink stack is per-thread (like the tracer stacks): a
+    counter installed on one thread must never see another thread's ops."""
+
+    def test_counter_blind_to_other_threads(self):
+        import threading
+
+        x = Tensor(np.ones(8))
+        errors = []
+
+        def worker():
+            try:
+                # no sink installed on this thread: its ops go nowhere
+                ops.add(x, x)
+                ops.mul(x, x)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        with KernelCounter() as kc:
+            ops.add(x, x)
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert not errors
+        assert kc.total_launches == 1
+
+    def test_per_thread_counters_independent(self):
+        import threading
+
+        x = Tensor(np.ones(8))
+        results = {}
+
+        def worker(name, n):
+            with KernelCounter() as kc:
+                for _ in range(n):
+                    ops.add(x, x)
+            results[name] = kc.total_launches
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}", i + 1))
+            for i in range(3)
+        ]
+        with KernelCounter() as main_kc:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert results == {"t0": 1, "t1": 2, "t2": 3}
+        assert main_kc.total_launches == 0
+
+    def test_counting_under_thread_executor(self, cu_model, cu_batch):
+        """Regression: a main-thread KernelCounter used to crash or
+        miscount when ThreadExecutor workers launched ops concurrently
+        (the sink stack was shared process-wide)."""
+        from repro.optim import WorkerSpec
+        from repro.parallel import ThreadExecutor
+
+        spec = WorkerSpec(model=cu_model, fused_env=True)
+        with ThreadExecutor(2) as ex:
+            ex.start(spec)
+            ex.broadcast("set_shard", cu_batch)
+            with KernelCounter() as kc:
+                ops.add(Tensor(np.ones(4)), Tensor(np.ones(4)))
+                results = ex.broadcast("energy_task")
+        assert len(results) == 2
+        # worker-thread ops never leak into the main-thread counter
+        assert kc.total_launches == 1

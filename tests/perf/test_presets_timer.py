@@ -70,3 +70,34 @@ class TestProfiler:
         assert prof.total_iteration_kernels(4) == (
             prof.energy.total_kernels + 4 * prof.force.total_kernels
         )
+
+
+class TestProfilerReconciliation:
+    """The op-level profiler and the span-derived Figure 7(b) query are
+    two views of the same launch stream; on a profiled FEKF step they
+    must agree *exactly*, per preset."""
+
+    @pytest.mark.parametrize("preset_name", ["baseline", "opt1", "opt2", "opt3"])
+    def test_phase_counts_match_span_counts(
+        self, cu_dataset, small_cfg, cu_model, preset_name
+    ):
+        batch = make_batch(cu_dataset, np.arange(4), small_cfg)
+        # 32 Cu atoms / 4 splits: equal groups, so the 4 force updates are
+        # identical and the single-update force profile scales exactly
+        assert batch.n_atoms % 4 == 0
+        preset = PRESETS[preset_name]
+        opt = FEKF(cu_model, preset.kalman_config(blocksize=1024),
+                   fused_env=preset.fused_env)
+        prof = profile_update(cu_model, opt, batch, preset)
+        pk = prof.phase_kernels
+        assert pk["forward_energy"] == prof.energy.forward_kernels
+        assert pk["forward_force"] == 4 * prof.force.forward_kernels
+        assert pk["backward"] == (
+            prof.energy.gradient_kernels + 4 * prof.force.gradient_kernels
+        )
+        assert pk["kf_update"] == (
+            prof.energy.kalman_kernels + 4 * prof.force.kalman_kernels
+        )
+        # nothing escaped phase attribution: the live totals equal the
+        # paper's 1-energy + 4-force iteration count
+        assert sum(pk.values()) == prof.total_iteration_kernels()

@@ -85,3 +85,23 @@ class TestSummarize:
 
     def test_empty_summary_renders(self):
         assert "span" in format_table(summarize([]))
+
+
+class TestReReadFidelity:
+    def test_summary_from_reread_file_matches_live(self, tmp_path):
+        """JsonlExporter -> read_jsonl -> summarize must agree with the
+        live tracer summary, including with non-span lines interleaved."""
+        path = str(tmp_path / "run.jsonl")
+        reg = MetricRegistry()
+        reg.counter("optim.steps").inc(2)
+        with JsonlExporter(path) as out, Tracer(sinks=[out]) as tr:
+            for i in range(3):
+                with tr.span("fekf.update", kind="energy") as sp:
+                    sp.add("kernels", 5 + i)
+            with tr.span("train.eval"):
+                pass
+            out.write_metrics(reg)  # a non-span line summarize must skip
+        live = summarize(tr.events)
+        reread = summarize(read_jsonl(path))
+        assert reread == live
+        assert reread["fekf.update"]["counters"]["kernels"] == 18
