@@ -1,0 +1,59 @@
+"""Sanitizer overhead smoke check: the *off* path must stay under 5%.
+
+The NaN/Inf sanitizer (``repro.analysis.Sanitizer``) rides the same
+tensor-forwarding gate in ``make_op`` that the profiler uses: with no
+sanitizer installed every op pays exactly one module-global check, and a
+completed install/uninstall cycle must leave that gate fully closed.  CI
+runs this to keep the "debugging tool, not a tax" promise honest.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import Sanitizer
+from repro.autograd import instrument as _instrument
+from repro.model import DeePMD, make_batch
+from repro.optim import make_optimizer
+from repro.train import Trainer
+
+
+def _run_once(cu_data, cfg, sanitizer=None):
+    model = DeePMD.for_dataset(cu_data, cfg, seed=1)
+    opt = make_optimizer("fekf", model, blocksize=2048, fused_update=True,
+                         fused_env=True)
+    trainer = Trainer(model, opt, cu_data, None, batch_size=8, seed=0,
+                      eval_frames=4)
+    t0 = time.perf_counter()
+    if sanitizer is not None:
+        with sanitizer:
+            trainer.run(max_epochs=2)
+    else:
+        trainer.run(max_epochs=2)
+    return time.perf_counter() - t0
+
+
+def test_sanitizer_off_overhead_under_5_percent(cu_data, cfg):
+    """After a full Sanitizer lifecycle the tensor gate is closed and
+    training runs within the same <5% budget as a never-sanitized run."""
+    with Sanitizer(mode="collect"):
+        pass
+    assert not _instrument.tensors_wanted()
+    off = min(_run_once(cu_data, cfg) for _ in range(3))
+    cycled = min(_run_once(cu_data, cfg) for _ in range(3))
+    overhead = cycled / off - 1.0
+    assert overhead < 0.05, (
+        f"post-sanitizer overhead {overhead:.1%} (before {off:.3f}s, "
+        f"after {cycled:.3f}s) exceeds the 5% budget"
+    )
+
+
+def test_sanitized_training_step_is_clean(cu_data, cfg):
+    """One sanitized epoch of real FEKF training: every recorded tensor
+    finite, and the op counter proves the sanitizer actually looked."""
+    sanitizer = Sanitizer(mode="raise")
+    _run_once(cu_data, cfg, sanitizer=sanitizer)
+    report = sanitizer.report()
+    assert report.ok, report.render()
+    assert report.metrics["ops_checked"] > 0
+    assert not _instrument.tensors_wanted()

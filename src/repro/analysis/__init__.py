@@ -1,0 +1,68 @@
+"""repro.analysis -- static & dynamic analyzers for the training stack.
+
+Three analyzers share one finding/report model (:mod:`findings`) and one
+CLI (``python -m repro.analysis``):
+
+* :mod:`graphlint` -- records an autograd op tape (via the same launch
+  sinks that feed the kernel counters) and checks graph invariants:
+  float64 end to end, backward shapes, output/operand aliasing, buffer
+  mutation behind autograd's back, unreachable nodes, unregistered
+  kernels, and second-order safety.  Includes the dynamic
+  :class:`~graphlint.Sanitizer` (NaN/Inf guard hooks on every op with
+  telemetry-span attribution) and :func:`~graphlint.verify_second_order`
+  (double backward vs central differences).
+* :mod:`determinism` -- runs the same FEKF training under the serial /
+  thread / process executors and certifies bit-identical P trajectories,
+  rank-ordered results, lockstep replicas, single-writer P access, and
+  clean sink stacks.
+* :mod:`astlint` -- AST rules over the project source: no unseeded
+  randomness, no wall-clock reads outside the manifest writer, no
+  cross-subpackage private imports, no float32 casts on hot paths, every
+  kernel-name literal registered, no order-nondeterministic reductions.
+
+Quick start::
+
+    python -m repro.analysis lint                 # AST lint the package
+    python -m repro.analysis determinism          # 3-backend audit
+    python -m repro.analysis graph path/to/fixture.py
+
+    from repro.analysis import record_tape, GraphLinter, Sanitizer
+    with record_tape() as tape:
+        loss = model(batch)
+    print(GraphLinter(tape).lint(roots=[loss]).render())
+"""
+
+from .astlint import ProjectLinter, RULES, lint_paths
+from .determinism import (
+    SharedStateProbe,
+    audit_determinism,
+    run_backend,
+    state_fingerprint,
+)
+from .findings import Finding, Report
+from .graphlint import (
+    GraphLinter,
+    Sanitizer,
+    SanitizerError,
+    TapeRecorder,
+    record_tape,
+    verify_second_order,
+)
+
+__all__ = [
+    "Finding",
+    "Report",
+    "ProjectLinter",
+    "lint_paths",
+    "RULES",
+    "GraphLinter",
+    "TapeRecorder",
+    "record_tape",
+    "Sanitizer",
+    "SanitizerError",
+    "verify_second_order",
+    "audit_determinism",
+    "run_backend",
+    "state_fingerprint",
+    "SharedStateProbe",
+]

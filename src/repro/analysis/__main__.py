@@ -1,0 +1,153 @@
+"""CLI for the analysis subsystem: ``python -m repro.analysis <cmd>``.
+
+Exit codes: 0 = clean, 1 = findings at error severity, 2 = usage or
+load failure (a fixture that cannot be imported, an unknown backend).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+from .astlint import lint_paths
+from .determinism import DEFAULT_BACKENDS, audit_determinism
+from .findings import Report
+from .graphlint import GraphLinter, Sanitizer, record_tape
+
+
+def _emit(report: Report, as_json: bool, verbose: bool = False) -> int:
+    if as_json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render(verbose=verbose))
+    return report.exit_code
+
+
+def _load_graph_module(path: Path):
+    """Import a graph fixture file as an anonymous module.  The module
+    must define ``build()`` returning the graph root tensor (or a
+    sequence of roots)."""
+    spec = importlib.util.spec_from_file_location(f"_graph_fixture_{path.stem}", path)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot load {path}")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    if not hasattr(mod, "build"):
+        raise ImportError(f"{path} defines no build() function")
+    return mod
+
+
+def cmd_lint(args) -> int:
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    report = lint_paths(paths, display_base=Path.cwd())
+    return _emit(report, args.json, args.verbose)
+
+
+def cmd_graph(args) -> int:
+    path = Path(args.fixture)
+    try:
+        mod = _load_graph_module(path)
+    except Exception as exc:
+        print(f"{path}: error: cannot load graph fixture: {exc}", file=sys.stderr)
+        return 2
+    sanitizer = Sanitizer(mode="collect") if args.sanitize else None
+    with record_tape() as tape:
+        if sanitizer is not None:
+            with sanitizer:
+                roots = mod.build()
+        else:
+            roots = mod.build()
+    from ..autograd.tensor import Tensor
+
+    if isinstance(roots, Tensor):
+        roots = [roots]
+    elif roots is None:
+        roots = []
+    report = GraphLinter(tape).lint(
+        roots=list(roots), require_second_order=args.second_order
+    )
+    if sanitizer is not None:
+        report.extend(sanitizer.report())
+    return _emit(report, args.json, args.verbose)
+
+
+def cmd_determinism(args) -> int:
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    for b in backends:
+        if b not in DEFAULT_BACKENDS:
+            print(f"unknown backend {b!r} (choose from "
+                  f"{', '.join(DEFAULT_BACKENDS)})", file=sys.stderr)
+            return 2
+    report = audit_determinism(
+        world_size=args.world_size,
+        steps=args.steps,
+        backends=backends,
+        seed=args.seed,
+    )
+    if args.manifest_dir:
+        from ..harness.manifest import write_manifest
+
+        Path(args.manifest_dir).mkdir(parents=True, exist_ok=True)
+        path = write_manifest(
+            args.manifest_dir,
+            "determinism_audit",
+            config={
+                "world_size": args.world_size,
+                "steps": args.steps,
+                "backends": list(backends),
+                "seed": args.seed,
+            },
+            metrics={**report.metrics, "ok": report.ok,
+                     "findings": len(report.findings)},
+        )
+        print(f"manifest: {path}")
+    return _emit(report, args.json, args.verbose)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static & dynamic analyzers: AST project lint, "
+                    "autograd graph lint, parallel determinism audit.",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_lint = sub.add_parser("lint", help="AST project lint (default: the "
+                                         "installed repro package)")
+    p_lint.add_argument("paths", nargs="*", help="files/directories to lint")
+    p_lint.add_argument("--json", action="store_true")
+    p_lint.add_argument("--verbose", action="store_true")
+    p_lint.set_defaults(fn=cmd_lint)
+
+    p_graph = sub.add_parser("graph", help="lint the autograd tape recorded "
+                                           "while running a fixture's build()")
+    p_graph.add_argument("fixture", help="python file defining build()")
+    p_graph.add_argument("--second-order", action="store_true",
+                         help="require every tape op to be create_graph-safe")
+    p_graph.add_argument("--sanitize", action="store_true",
+                         help="also run the NaN/Inf sanitizer (collect mode)")
+    p_graph.add_argument("--json", action="store_true")
+    p_graph.add_argument("--verbose", action="store_true")
+    p_graph.set_defaults(fn=cmd_graph)
+
+    p_det = sub.add_parser("determinism", help="certify bit-identical P "
+                                               "across executor backends")
+    p_det.add_argument("--world-size", type=int, default=4)
+    p_det.add_argument("--steps", type=int, default=20)
+    p_det.add_argument("--backends", default=",".join(DEFAULT_BACKENDS))
+    p_det.add_argument("--seed", type=int, default=7)
+    p_det.add_argument("--manifest-dir", default=None,
+                       help="write BENCH_determinism_audit.json here")
+    p_det.add_argument("--json", action="store_true")
+    p_det.add_argument("--verbose", action="store_true")
+    p_det.set_defaults(fn=cmd_determinism)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,113 @@
+"""Shared finding/report model for every repro.analysis analyzer.
+
+All three analyzers (graph linter, determinism auditor, AST project lint)
+emit :class:`Finding` objects into a :class:`Report`, so the CLI, the CI
+job, and the test fixtures consume one representation.  Renders in the
+classic compiler diagnostic shape ``file:line: severity: [rule] message``
+so editors and CI annotations pick locations up for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Finding", "Report", "SEVERITIES"]
+
+#: ordered from most to least severe
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass
+class Finding:
+    """One diagnostic produced by an analyzer.
+
+    ``file``/``line`` locate the finding when it maps to source (AST lint
+    always does; graph/determinism findings may instead carry op names or
+    backend ids in ``context``).
+    """
+
+    rule: str
+    message: str
+    severity: str = "error"
+    file: Optional[str] = None
+    line: Optional[int] = None
+    context: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def render(self) -> str:
+        loc = ""
+        if self.file is not None:
+            loc = f"{self.file}:{self.line}: " if self.line else f"{self.file}: "
+        return f"{loc}{self.severity}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "message": self.message,
+            "severity": self.severity,
+            "file": self.file,
+            "line": self.line,
+            "context": self.context,
+        }
+
+
+@dataclass
+class Report:
+    """The outcome of one analyzer run.
+
+    ``checks_run`` names every check that executed (so "no findings"
+    is distinguishable from "nothing ran"); ``metrics`` carries scalar
+    evidence (files scanned, steps audited, fingerprints compared).
+    """
+
+    tool: str
+    findings: list[Finding] = field(default_factory=list)
+    checks_run: list[str] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+    def add(self, finding: Finding) -> Finding:
+        self.findings.append(finding)
+        return finding
+
+    def extend(self, other: "Report") -> None:
+        """Fold another report's evidence into this one."""
+        self.findings.extend(other.findings)
+        self.checks_run.extend(other.checks_run)
+        self.metrics.update(other.metrics)
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error*-severity finding is present."""
+        return not any(f.severity == "error" for f in self.findings)
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def render(self, verbose: bool = False) -> str:
+        lines = [f.render() for f in self.findings]
+        errors = sum(1 for f in self.findings if f.severity == "error")
+        warnings = sum(1 for f in self.findings if f.severity == "warning")
+        lines.append(
+            f"{self.tool}: {len(self.checks_run)} checks, "
+            f"{errors} errors, {warnings} warnings"
+        )
+        if verbose:
+            for name in self.checks_run:
+                lines.append(f"  ran: {name}")
+            for key, value in sorted(self.metrics.items()):
+                lines.append(f"  {key}: {value}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "tool": self.tool,
+            "ok": self.ok,
+            "findings": [f.as_dict() for f in self.findings],
+            "checks_run": list(self.checks_run),
+            "metrics": dict(self.metrics),
+        }

@@ -9,9 +9,16 @@ Public surface::
 """
 
 from .config import config, enable_grad, fused_kernels, no_grad
-from .gradcheck import check_gradients, numerical_grad
-from .instrument import KernelCounter, record_launch
-from .tensor import Tensor, as_tensor, grad, make_op
+from .gradcheck import check_gradients, check_second_order, numerical_grad
+from .instrument import (
+    KernelCounter,
+    OpInfo,
+    op_info,
+    record_launch,
+    register_op,
+    registered_ops,
+)
+from .tensor import GRAD_DTYPE, Tensor, as_tensor, grad, make_op
 from . import fuse, ops
 
 __all__ = [
@@ -25,8 +32,14 @@ __all__ = [
     "config",
     "ops",
     "fuse",
+    "GRAD_DTYPE",
     "KernelCounter",
     "record_launch",
+    "OpInfo",
+    "register_op",
+    "op_info",
+    "registered_ops",
     "check_gradients",
+    "check_second_order",
     "numerical_grad",
 ]

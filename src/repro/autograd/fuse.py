@@ -23,9 +23,21 @@ from __future__ import annotations
 import numpy as np
 
 from .config import config
-from .instrument import record_launch
+from .instrument import record_launch, register_op
 from .tensor import Tensor, as_tensor, make_op
 from . import ops
+
+# fused forward kernels keep exact higher-order derivatives via the
+# dual-path backward (composed from primitives when grad mode is on); the
+# raw ``*_bwd_fused`` kernels only ever run with grad mode off, so they
+# are registered as first-order-only backward launches
+for _name in ("linear_fused", "linear_tanh_fused", "residual_linear_tanh_fused"):
+    register_op(_name, kind="fused")
+for _name in (
+    "linear_bwd_fused", "linear_tanh_bwd_fused", "residual_linear_tanh_bwd_fused",
+):
+    register_op(_name, kind="backward", second_order=False)
+del _name
 
 
 def _batch_flatten(t: Tensor, last: int) -> Tensor:

@@ -7,10 +7,11 @@ symmetry-descriptor kernels against central differences.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from . import ops
 from .tensor import Tensor, grad
 
 
@@ -58,5 +59,81 @@ def check_gradients(
             err = np.max(np.abs(ana - num))
             raise AssertionError(
                 f"gradient mismatch for input {i}: max abs err {err:.3e}\n"
+                f"analytic:\n{ana}\nnumerical:\n{num}"
+            )
+
+
+def check_second_order(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    directions: Optional[Sequence[np.ndarray]] = None,
+    eps: float = 1e-5,
+    atol: float = 1e-5,
+    rtol: float = 1e-3,
+    seed: int = 0,
+) -> None:
+    """Assert exact double backward for the scalar ``fn``.
+
+    The checked quantity is ``z(x) = sum_j <dfn/dx_j, v_j>`` -- the
+    first-order analytic gradient contracted with fixed direction vectors
+    ``v`` (random unless ``directions`` is given).  Its analytic gradient
+    comes from differentiating *through* the backward pass
+    (``create_graph=True``, exactly how the force label enters training);
+    the reference is a central difference of the analytic first-order
+    gradient.  Raises ``AssertionError`` with the offending input index on
+    mismatch -- an op whose backward closure is not itself differentiable
+    (a missing second-order rule) shows up here as a hard error or a large
+    deviation.
+    """
+    base = [np.array(x, dtype=np.float64) for x in inputs]
+    if directions is None:
+        rng = np.random.default_rng(seed)
+        directions = [rng.standard_normal(b.shape) for b in base]
+    else:
+        directions = [np.array(v, dtype=np.float64) for v in directions]
+        if len(directions) != len(base):
+            raise ValueError("need one direction vector per input")
+
+    def grad_dot_v(arrs: Sequence[np.ndarray]) -> float:
+        """z at ``arrs``, via the analytic first-order gradient."""
+        tensors = [Tensor(a, requires_grad=True) for a in arrs]
+        gs = grad(fn(*tensors), tensors)
+        return sum(
+            float(np.sum(g.data * v)) for g, v in zip(gs, directions)
+        )
+
+    # analytic second order: differentiate z through the backward graph
+    tensors = [Tensor(a, requires_grad=True) for a in base]
+    gs = grad(fn(*tensors), tensors, create_graph=True)
+    z: Optional[Tensor] = None
+    for g, v in zip(gs, directions):
+        term = ops.tsum(ops.mul(g, Tensor(v)))
+        z = term if z is None else ops.add(z, term)
+    assert z is not None
+    if not z.requires_grad:
+        raise AssertionError(
+            "first-order gradient of fn is disconnected from its inputs: "
+            "some op on the path records a raw backward with no graph "
+            "(missing second-order rule)"
+        )
+    second = grad(z, tensors)
+
+    for i in range(len(base)):
+        num = np.zeros_like(base[i])
+        flat = base[i].reshape(-1)
+        nflat = num.reshape(-1)
+        for j in range(flat.size):
+            orig = flat[j]
+            flat[j] = orig + eps
+            zp = grad_dot_v(base)
+            flat[j] = orig - eps
+            zm = grad_dot_v(base)
+            flat[j] = orig
+            nflat[j] = (zp - zm) / (2.0 * eps)
+        ana = second[i].data
+        if not np.allclose(ana, num, atol=atol, rtol=rtol):
+            err = np.max(np.abs(ana - num))
+            raise AssertionError(
+                f"second-order mismatch for input {i}: max abs err {err:.3e}\n"
                 f"analytic:\n{ana}\nnumerical:\n{num}"
             )

@@ -16,9 +16,25 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from .instrument import register_op
 from .tensor import Tensor, as_tensor, make_op
 
 Scalar = Union[int, float]
+
+# every primitive kernel this module may launch, with its static analysis
+# properties (second_order: the backward closure is composed of these same
+# primitives, so double backward is exact; may_view: numpy may hand back a
+# view of the input buffer).  repro.analysis lints tapes and call sites
+# against this table.
+for _name in (
+    "add", "sub", "mul", "div", "neg", "pow", "exp", "log", "tanh",
+    "sqrt", "abs", "maximum", "where", "sum", "broadcast", "concat",
+    "scatter_add", "matmul",
+):
+    register_op(_name)
+for _name in ("reshape", "transpose", "gather"):
+    register_op(_name, may_view=True)
+del _name
 TensorLike = Union[Tensor, Scalar, np.ndarray]
 
 

@@ -31,7 +31,12 @@ from .instrument import record_launch
 
 ArrayLike = Union[np.ndarray, float, int, list, tuple]
 
-_GRAD_DTYPE = np.float64
+#: the one floating dtype of the engine.  Float inputs are normalized to it
+#: on construction; the Kalman optimizers rely on every graph buffer staying
+#: float64 (``repro.analysis`` lints the invariant on recorded tapes).
+GRAD_DTYPE = np.float64
+#: back-compat alias (pre-analysis name)
+_GRAD_DTYPE = GRAD_DTYPE
 
 
 class Tensor:
@@ -57,8 +62,14 @@ class Tensor:
         arr = np.asarray(data)
         if arr.dtype.kind == "f" and arr.dtype != _GRAD_DTYPE:
             arr = arr.astype(_GRAD_DTYPE)
-        elif arr.dtype.kind in "iu" and requires_grad:
-            raise TypeError("integer tensors cannot require gradients")
+        elif arr.dtype.kind != "f" and requires_grad:
+            # integer/unsigned/bool/complex data has no meaningful float64
+            # gradient; silently keeping (or casting) the buffer used to
+            # corrupt downstream Kalman algebra, so refuse loudly instead
+            raise TypeError(
+                f"only float tensors can require gradients (got dtype "
+                f"{arr.dtype}); cast the data to float explicitly first"
+            )
         self.data: np.ndarray = arr
         self.requires_grad: bool = bool(requires_grad)
         self.grad: Optional[Tensor] = None
@@ -242,10 +253,14 @@ def make_op(
             record_launch(op, nb)
     rg = config.grad_enabled and any(p.requires_grad for p in parents)
     out = Tensor(data, requires_grad=rg)
+    out._op = op  # kept even without a graph edge (sanitizer attribution)
     if rg:
         out._parents = parents
         out._backward_fn = backward_fn
-        out._op = op
+    if _instrument._WANT_TENSORS:
+        # a tape recorder or sanitizer is live somewhere: hand it the
+        # result tensor (graph edge included) for tape/NaN analysis
+        _instrument.record_tensor(out)
     return out
 
 

@@ -26,9 +26,17 @@ from typing import Optional
 import numpy as np
 
 from ..autograd import Tensor, make_op, ops
+from ..autograd.instrument import register_op
 from ..data.dataset import Dataset
 from .config import DeePMDConfig
 from .smooth import smooth_graph, smooth_np
+
+# the hand-derived Opt1 descriptor kernels: the vjp and its adjoint are
+# mutually-transposed linear maps, so derivatives of any order along the
+# weight direction are exact (see _make_env_linear_ops)
+for _name in ("env_fused", "env_bwd_fused", "env_bwd_transpose_fused"):
+    register_op(_name, kind="fused")
+del _name
 
 
 @dataclass

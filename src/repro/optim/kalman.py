@@ -41,8 +41,17 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.linalg import blas as _blas
 
-from ..autograd.instrument import record_launch
+from ..autograd.instrument import record_launch, register_op
 from .blocks import Block, split_blocks
+
+# the Kalman-core kernels live outside the autograd graph (plain BLAS on
+# P); registered so the launch accounting and the project lint know them
+for _name in (
+    "p_symv_fused", "p_gemv", "p_update_fused", "k_scale", "kkT_outer",
+    "p_sub", "p_scale", "p_symmetrize",
+):
+    register_op(_name, kind="optim", second_order=False)
+del _name
 
 
 @dataclass

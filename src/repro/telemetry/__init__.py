@@ -51,7 +51,17 @@ from .metrics import (
     enable_kernel_metrics,
     get_registry,
 )
-from .trace import NULL_SPAN, Span, SpanEvent, Tracer, current_tracer, disable, enable, span
+from .trace import (
+    NULL_SPAN,
+    Span,
+    SpanEvent,
+    Tracer,
+    current_span_name,
+    current_tracer,
+    disable,
+    enable,
+    span,
+)
 
 __all__ = [
     "span",
@@ -59,6 +69,7 @@ __all__ = [
     "SpanEvent",
     "Tracer",
     "current_tracer",
+    "current_span_name",
     "enable",
     "disable",
     "NULL_SPAN",

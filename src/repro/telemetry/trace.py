@@ -41,6 +41,7 @@ __all__ = [
     "Tracer",
     "span",
     "current_tracer",
+    "current_span_name",
     "enable",
     "disable",
 ]
@@ -350,6 +351,17 @@ def current_tracer() -> Optional[Tracer]:
     """The innermost tracer active on the calling thread, or ``None``."""
     stack = _stack()
     return stack[-1] if stack else None
+
+
+def current_span_name() -> str:
+    """Name of the innermost *open* span on the calling thread's active
+    tracer, or ``""`` when no tracer/span is live.  Used by diagnostics
+    (e.g. the analysis sanitizer) to attribute a finding to the training
+    phase it occurred in."""
+    tracer = current_tracer()
+    if tracer is None or not tracer._open_stack:
+        return ""
+    return tracer._open_stack[-1].name
 
 
 def span(name: str, **attrs):

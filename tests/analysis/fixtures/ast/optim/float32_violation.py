@@ -1,0 +1,12 @@
+"""Fixture: float32 casts in a hot-path subsystem (the ``optim`` path
+component marks this file hot).  Parsed only, never run."""
+
+import numpy as np
+
+
+def degrade(p):
+    a = p.astype(np.float32)     # flagged
+    b = p.astype("float32")      # flagged
+    c = np.float32(0.5)          # flagged
+    d = p.astype(np.float64)     # NOT flagged
+    return a, b, c, d

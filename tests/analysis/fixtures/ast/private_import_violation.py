@@ -1,0 +1,4 @@
+"""Fixture: cross-subpackage private imports (parsed only, never run)."""
+
+from repro.autograd.tensor import _GRAD_DTYPE  # flagged: private, cross-package
+from repro.autograd.tensor import GRAD_DTYPE   # public: NOT flagged

@@ -1,0 +1,16 @@
+"""Fixture: reductions folded in completion order (parsed only)."""
+
+import concurrent.futures
+from concurrent.futures import as_completed
+
+
+def reduce_results(pool, tasks):
+    futs = [pool.submit(t) for t in tasks]
+    total = 0.0
+    for fut in as_completed(futs):               # flagged
+        total += fut.result()
+    for fut in concurrent.futures.as_completed(futs):  # flagged
+        total += fut.result()
+    for fut in futs:                              # rank order: NOT flagged
+        total += fut.result()
+    return total

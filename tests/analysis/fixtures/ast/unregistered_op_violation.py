@@ -1,0 +1,16 @@
+"""Fixture: kernel-name literals with no register_op() declaration.
+
+Parsed only.  ``declared_kernel`` is registered right here, so only the
+two bogus names fire.
+"""
+
+from repro.autograd.instrument import record_launch, register_op
+from repro.autograd.tensor import make_op
+
+register_op("declared_kernel", kind="fused")
+
+
+def launch(data, parents, backward):
+    record_launch("bogus_kernel", 128)              # flagged
+    record_launch("declared_kernel", 128)           # NOT flagged
+    return make_op(data, parents, backward, "mystery_op")  # flagged

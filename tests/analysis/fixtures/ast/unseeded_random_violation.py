@@ -1,0 +1,14 @@
+"""Fixture: every flavor of unseeded randomness the rule must catch.
+
+Never imported -- parsed by the AST linter only.
+"""
+
+import numpy as np
+
+
+def draw():
+    np.random.seed(0)            # legacy global state: flagged even when "seeded"
+    a = np.random.randn(3)       # legacy draw
+    rng = np.random.default_rng()  # zero-arg: OS entropy
+    ok = np.random.default_rng(1234)  # seeded Generator: NOT flagged
+    return a, rng.random(), ok.random()

@@ -1,0 +1,12 @@
+"""Graph fixture: a well-behaved graph every check passes."""
+
+import numpy as np
+
+from repro.autograd import Tensor, ops
+
+
+def build():
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+    w = Tensor(rng.standard_normal((3, 2)), requires_grad=True)
+    return ops.tsum(ops.tanh(ops.matmul(x, w)))

@@ -1,0 +1,17 @@
+"""Graph fixture: a float32 buffer smuggled into the graph.
+
+The Tensor constructor normalizes float inputs to float64, so the only
+way to break the invariant is mutating ``.data`` behind autograd's back
+-- which is exactly what the linter must catch.
+"""
+
+import numpy as np
+
+from repro.autograd import Tensor, ops
+
+
+def build():
+    x = Tensor(np.ones(4), requires_grad=True)
+    y = ops.exp(x)
+    y.data = y.data.astype(np.float32)
+    return ops.tsum(y)

@@ -1,0 +1,14 @@
+"""Graph fixture: a recorded activation mutated in place after use
+(write-after-read on a shared graph buffer)."""
+
+import numpy as np
+
+from repro.autograd import Tensor, ops
+
+
+def build():
+    x = Tensor(np.ones(4), requires_grad=True)
+    h = ops.exp(x)
+    out = ops.tsum(ops.mul(h, h))
+    h.data[:] = 0.0  # backward would now see zeros instead of exp(x)
+    return out

@@ -1,0 +1,13 @@
+"""Graph fixture: an op producing non-finite values (run with
+``--sanitize`` to catch it as it happens)."""
+
+import numpy as np
+
+from repro.autograd import Tensor, ops
+
+
+def build():
+    with np.errstate(divide="ignore"):
+        x = Tensor(np.array([1.0, 0.0, 2.0]), requires_grad=True)
+        y = ops.log(x)  # log(0) = -inf
+        return ops.tsum(y)

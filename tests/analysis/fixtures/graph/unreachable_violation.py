@@ -1,0 +1,12 @@
+"""Graph fixture: dead compute -- an op whose result never reaches the
+graph root."""
+
+import numpy as np
+
+from repro.autograd import Tensor, ops
+
+
+def build():
+    x = Tensor(np.ones(4), requires_grad=True)
+    ops.exp(x)  # computed, recorded, never used
+    return ops.tsum(ops.tanh(x))

@@ -1,0 +1,127 @@
+"""AST project lint: the tree is clean, and every rule fires on its
+seeded-violation fixture."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths
+from repro.analysis.astlint import RULES, ProjectLinter
+
+FIXTURES = Path(__file__).parent / "fixtures" / "ast"
+REPRO_SRC = Path(__file__).parent.parent.parent / "src" / "repro"
+
+
+def _rules_in(path: Path) -> dict:
+    report = lint_paths([path])
+    by_rule: dict = {}
+    for f in report.findings:
+        by_rule.setdefault(f.rule, []).append(f)
+    return by_rule
+
+
+class TestTreeClean:
+    def test_repro_package_lints_clean(self):
+        report = lint_paths([REPRO_SRC])
+        assert report.ok, report.render()
+        assert report.metrics["files_scanned"] > 50
+
+    def test_default_root_is_the_repro_package(self):
+        report = ProjectLinter().run()
+        assert report.ok, report.render()
+
+
+class TestRulesFire:
+    def test_unseeded_random(self):
+        by_rule = _rules_in(FIXTURES / "unseeded_random_violation.py")
+        msgs = [f.message for f in by_rule["unseeded-random"]]
+        assert len(msgs) == 3  # seed(), randn(), zero-arg default_rng()
+        assert any("default_rng" in m for m in msgs)
+        assert any("randn" in m for m in msgs)
+
+    def test_wallclock_time(self):
+        by_rule = _rules_in(FIXTURES / "wallclock_violation.py")
+        # time.time() + time.time_ns(); the suppressed call stays silent
+        assert len(by_rule["wallclock-time"]) == 2
+
+    def test_wallclock_suppression_comment(self):
+        by_rule = _rules_in(FIXTURES / "wallclock_violation.py")
+        lines = {f.line for f in by_rule["wallclock-time"]}
+        text = (FIXTURES / "wallclock_violation.py").read_text().splitlines()
+        for ln in lines:
+            assert "disable" not in text[ln - 1]
+
+    def test_private_import(self):
+        by_rule = _rules_in(FIXTURES / "private_import_violation.py")
+        findings = by_rule["private-import"]
+        assert len(findings) == 1
+        assert "_GRAD_DTYPE" in findings[0].message
+
+    def test_float32_cast_in_hot_path(self):
+        by_rule = _rules_in(FIXTURES / "optim" / "float32_violation.py")
+        assert len(by_rule["float32-cast"]) == 3
+
+    def test_float32_ignored_outside_hot_paths(self, tmp_path):
+        cold = tmp_path / "cold_module.py"
+        cold.write_text(
+            "import numpy as np\n"
+            "def f(p):\n"
+            "    return p.astype(np.float32)\n"
+        )
+        report = lint_paths([cold])
+        assert report.ok, report.render()
+
+    def test_unregistered_op(self):
+        by_rule = _rules_in(FIXTURES / "unregistered_op_violation.py")
+        ops = {f.context["op"] for f in by_rule["unregistered-op"]}
+        assert ops == {"bogus_kernel", "mystery_op"}
+
+    def test_unordered_reduction(self):
+        by_rule = _rules_in(FIXTURES / "unordered_reduction_violation.py")
+        assert len(by_rule["unordered-reduction"]) == 2
+
+    @pytest.mark.parametrize("name", [
+        "unseeded_random_violation.py",
+        "wallclock_violation.py",
+        "private_import_violation.py",
+        "optim/float32_violation.py",
+        "unregistered_op_violation.py",
+        "unordered_reduction_violation.py",
+    ])
+    def test_every_fixture_fails_the_gate(self, name):
+        report = lint_paths([FIXTURES / name])
+        assert not report.ok
+        assert report.exit_code == 1
+
+    def test_findings_carry_file_and_line(self):
+        report = lint_paths([FIXTURES / "wallclock_violation.py"])
+        for f in report.findings:
+            assert f.file and f.file.endswith("wallclock_violation.py")
+            assert f.line and f.line > 0
+            rendered = f.render()
+            assert f"{f.file}:{f.line}:" in rendered
+            assert f"[{f.rule}]" in rendered
+
+
+class TestSuppression:
+    def test_preceding_line_suppression(self, tmp_path):
+        mod = tmp_path / "sup.py"
+        mod.write_text(
+            "import time\n"
+            "# lint: disable=wallclock-time\n"
+            "T = time.time()\n"
+        )
+        assert lint_paths([mod]).ok
+
+    def test_suppression_is_rule_specific(self, tmp_path):
+        mod = tmp_path / "sup2.py"
+        mod.write_text(
+            "import time\n"
+            "T = time.time()  # lint: disable=unseeded-random\n"
+        )
+        report = lint_paths([mod])
+        assert not report.ok  # wrong rule name: finding stands
+
+    def test_rules_tuple_matches_checks_run(self):
+        report = ProjectLinter().run()
+        assert set(RULES) <= set(report.checks_run)

@@ -19,6 +19,33 @@ class TestConstruction:
         with pytest.raises(TypeError):
             Tensor(np.arange(3), requires_grad=True)
 
+    @pytest.mark.parametrize("data", [
+        np.arange(3),                      # int64
+        np.arange(3, dtype=np.int32),
+        np.arange(3, dtype=np.uint8),
+        np.zeros(3, dtype=bool),
+        np.zeros(3, dtype=np.complex128),
+        [1, 2, 3],                         # python ints infer integer dtype
+    ])
+    def test_non_float_rejects_requires_grad(self, data):
+        """Every non-float dtype must refuse requires_grad loudly (bool
+        and complex used to slip through the integer-only guard)."""
+        with pytest.raises(TypeError, match="only float tensors"):
+            Tensor(data, requires_grad=True)
+
+    @pytest.mark.parametrize("data", [
+        np.zeros(3, dtype=bool),
+        np.arange(3, dtype=np.uint8),
+        np.zeros(3, dtype=np.complex128),
+    ])
+    def test_non_float_still_allowed_without_grad(self, data):
+        t = Tensor(data)
+        assert t.dtype == data.dtype  # constants keep their dtype
+
+    def test_explicit_float_cast_is_the_remedy(self):
+        t = Tensor(np.arange(3).astype(float), requires_grad=True)
+        assert t.dtype == np.float64 and t.requires_grad
+
     def test_nested_list(self):
         assert Tensor([[1.0, 2.0]]).shape == (1, 2)
 

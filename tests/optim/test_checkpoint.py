@@ -80,3 +80,66 @@ class TestCheckpoint:
         load_checkpoint(path, m2, o2)
         assert o2.kalman.lam == pytest.approx(opt.kalman.lam)
         assert o2.kalman.updates == opt.kalman.updates
+
+
+class TestLegacyLayout:
+    """Files written before the ``Optimizer`` protocol existed carry only
+    the original key set; they must stay loadable verbatim."""
+
+    LEGACY_KEYS = (
+        "kalman/lam", "kalman/updates", "kalman/p_scales", "kalman/fused",
+    )
+
+    def _write_legacy(self, path, model, opt):
+        """Re-write a checkpoint keeping only the pre-protocol keys
+        (no kalman/step_count, no kalman/rng)."""
+        payload = {f"model/{k}": v for k, v in model.state_dict().items()}
+        state = opt.state_dict()
+        for key in self.LEGACY_KEYS:
+            payload[key] = state[key]
+        for key in state:
+            if key.startswith("kalman/p") and key[8:].isdigit():
+                payload[key] = state[key]
+        np.savez_compressed(path, **payload)
+        return state
+
+    def test_pre_protocol_file_roundtrips(self, cu_dataset, small_cfg, cu_batch, tmp_path):
+        model = DeePMD.for_dataset(cu_dataset, small_cfg, seed=1)
+        opt = _opt(model)
+        for _ in range(2):
+            opt.step_batch(cu_batch)
+        path = str(tmp_path / "legacy.npz")
+        old_state = self._write_legacy(path, model, opt)
+
+        m2 = DeePMD.for_dataset(cu_dataset, small_cfg, seed=42)
+        o2 = _opt(m2)
+        step_count_before = o2.step_count
+        load_checkpoint(path, m2, o2)
+        assert np.allclose(m2.params.flatten(), model.params.flatten())
+        assert o2.kalman.lam == pytest.approx(opt.kalman.lam)
+        assert o2.kalman.updates == opt.kalman.updates
+        for i, p in enumerate(o2.kalman.p_mats):
+            assert np.array_equal(p, old_state[f"kalman/p{i}"])
+        # the optional keys were absent: their state is simply untouched
+        assert o2.step_count == step_count_before
+
+    def test_missing_optional_keys_do_not_raise(self, cu_dataset, small_cfg, tmp_path):
+        model = DeePMD.for_dataset(cu_dataset, small_cfg, seed=1)
+        opt = _opt(model)
+        path = str(tmp_path / "legacy.npz")
+        self._write_legacy(path, model, opt)
+        with np.load(path) as z:
+            assert "kalman/step_count" not in z.files
+            assert "kalman/rng" not in z.files
+        load_checkpoint(path, model, opt)
+
+    def test_model_prefixed_optimizer_key_rejected(self, cu_model, tmp_path):
+        """An optimizer whose state keys spill into the model/ namespace
+        would silently corrupt the weight payload; save must refuse."""
+
+        class EvilOpt:
+            def state_dict(self):
+                return {"model/fit_out_b": np.zeros(1)}
+
+        with pytest.raises(ValueError, match="collide"):
+            save_checkpoint(str(tmp_path / "x.npz"), cu_model, EvilOpt())
