@@ -1,0 +1,133 @@
+"""Serving acceptance gates: micro-batching throughput + telemetry cost.
+
+The serving claim (ISSUE: batched inference service) is that collecting
+concurrent per-frame requests into micro-batched forward passes -- plus
+the neighbor/prediction caches -- buys >= 2x throughput over answering
+one request at a time.  Both modes run the *same*
+:class:`repro.serve.InferenceService`, so the delta is attributable to
+batching + caching, not to differing code paths.  The second gate keeps
+the telemetry promise honest on the serving path: running the service
+under a live tracer must cost < 5% wall time.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.model import DeePMD, ModelSession
+from repro.serve import InferenceService, ServeConfig
+from repro.telemetry import Tracer
+
+CLIENTS = 8
+PER_CLIENT = 6
+
+
+def _drive(service, pool, species, cell):
+    """CLIENTS threads x PER_CLIENT requests each; returns wall seconds."""
+    barrier = threading.Barrier(CLIENTS + 1)
+
+    def client(k):
+        barrier.wait()
+        for j in range(PER_CLIENT):
+            service.predict(pool[(k + j) % len(pool)], species, cell)
+
+    threads = [threading.Thread(target=client, args=(k,)) for k in range(CLIENTS)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    return time.perf_counter() - t0
+
+
+def _pool(cu_data):
+    # fewer distinct frames than requests, so repeats exercise the caches
+    # the way rejected MC moves and committee queries do in production
+    import numpy as np
+
+    n = max(2, CLIENTS * PER_CLIENT // 3)
+    return [
+        np.ascontiguousarray(cu_data.positions[t])
+        for t in range(min(cu_data.n_frames, n))
+    ]
+
+
+def _serve_once(model, cu_data, cfg_serve):
+    pool = _pool(cu_data)
+    with InferenceService(ModelSession(model), cfg_serve) as svc:
+        wall = _drive(svc, pool, cu_data.species, cu_data.cell)
+        stats = svc.stats()
+    return wall, stats
+
+
+BASELINE = dict(
+    max_batch=1, max_delay_s=0.0, cache_neighbors=False, cache_predictions=False
+)
+BATCHED = dict(max_batch=CLIENTS, max_delay_s=0.002)
+
+
+def test_microbatching_speedup_at_8_clients(cu_data, cfg):
+    """Acceptance: >= 2x throughput from micro-batching + caching at 8
+    concurrent clients, one-at-a-time baseline.  Best-of-2 per mode so a
+    scheduler hiccup on either side does not decide the verdict."""
+    model = DeePMD.for_dataset(cu_data, cfg, seed=1)
+    base = min(
+        _serve_once(model, cu_data, ServeConfig(**BASELINE))[0] for _ in range(2)
+    )
+    batched_runs = [
+        _serve_once(model, cu_data, ServeConfig(**BATCHED)) for _ in range(2)
+    ]
+    fast = min(wall for wall, _ in batched_runs)
+    stats = min(batched_runs, key=lambda r: r[0])[1]
+    speedup = base / fast
+    print(
+        f"\nserve speedup at {CLIENTS} clients: {speedup:.2f}x "
+        f"(baseline {base:.3f}s, batched {fast:.3f}s, "
+        f"occupancy mean {stats['batch_occupancy']['mean']:.1f}, "
+        f"cache hit rate {stats['prediction_cache']['hit_rate']:.0%})"
+    )
+    assert stats["batches"] < stats["responses"]  # real co-batching happened
+    assert speedup >= 2.0, (
+        f"expected >= 2x micro-batching throughput at {CLIENTS} clients, "
+        f"measured {speedup:.2f}x (baseline {base:.3f}s, batched {fast:.3f}s)"
+    )
+
+
+def test_serving_telemetry_overhead_under_5_percent(cu_data, cfg):
+    """A live tracer over the serving loop (batcher spans + worker merge)
+    must stay under the repo-wide 5% telemetry budget."""
+    model = DeePMD.for_dataset(cu_data, cfg, seed=1)
+    pool = _pool(cu_data)
+
+    def run(tracer):
+        cfg_serve = ServeConfig(**BATCHED)
+        if tracer is None:
+            wall, _ = _serve_once(model, cu_data, cfg_serve)
+            return wall
+        with tracer:
+            with InferenceService(ModelSession(model), cfg_serve) as svc:
+                wall = _drive(svc, pool, cu_data.species, cu_data.cell)
+        return wall
+
+    off = min(run(None) for _ in range(3))
+    on = min(run(Tracer(keep_events=False)) for _ in range(3))
+    overhead = on / off - 1.0
+    assert overhead < 0.05, (
+        f"serving telemetry overhead {overhead:.1%} "
+        f"(off {off:.3f}s, on {on:.3f}s) exceeds the 5% budget"
+    )
+
+
+def test_cached_predict_latency(benchmark, cu_data, cfg):
+    """A prediction-cache hit must bypass the batcher entirely: it is a
+    dict lookup + dataclass copy, microseconds not milliseconds."""
+    model = DeePMD.for_dataset(cu_data, cfg, seed=1)
+    frame = cu_data.positions[0]
+    with InferenceService(ModelSession(model), ServeConfig()) as svc:
+        warm = svc.predict(frame, cu_data.species, cu_data.cell)
+        assert not warm.cached
+        hit = benchmark(svc.predict, frame, cu_data.species, cu_data.cell)
+    assert hit.cached
+    assert hit.energy == warm.energy

@@ -26,8 +26,21 @@ from .autograd import KernelCounter, Tensor, grad, no_grad
 from .data import BatchLoader, Dataset, SYSTEMS, generate_dataset, load_dataset, save_dataset
 from .model import DeePMD, DeePMDConfig, make_batch
 from .model.calculator import DeePMDCalculator
-from .optim import FEKF, Adam, KalmanConfig, NaiveEKF, Optimizer, RLEKF, SGD, make_optimizer
+from .model.session import InferenceSession, ModelSession, Prediction
+from .optim import (
+    FEKF,
+    Adam,
+    KalmanConfig,
+    NaiveEKF,
+    Optimizer,
+    RLEKF,
+    SGD,
+    load_state,
+    make_optimizer,
+    save_state,
+)
 from .parallel import DistributedFEKF, SimCommunicator
+from .serve import InferenceService, ServeConfig
 from .train import Callback, ConsoleCallback, TargetCriterion, Trainer, TrainResult
 
 __version__ = "1.0.0"
@@ -55,6 +68,13 @@ __all__ = [
     "KalmanConfig",
     "Optimizer",
     "make_optimizer",
+    "save_state",
+    "load_state",
+    "InferenceSession",
+    "ModelSession",
+    "Prediction",
+    "InferenceService",
+    "ServeConfig",
     "DistributedFEKF",
     "SimCommunicator",
     "Trainer",

@@ -43,6 +43,36 @@ def main(argv: list[str] | None = None) -> int:
         "--heavy", action="store_true",
         help="full-scale sweeps for 'report' (slow)",
     )
+    serve = parser.add_argument_group("serve-bench")
+    serve.add_argument(
+        "--clients", type=int, default=None,
+        help="concurrent client threads (serve-bench)",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=None,
+        help="total requests across all clients (serve-bench)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=None, dest="max_batch",
+        help="micro-batch size flush trigger (serve-bench)",
+    )
+    serve.add_argument(
+        "--max-delay-ms", type=float, default=None, dest="max_delay_ms",
+        help="micro-batch deadline flush trigger, ms (serve-bench)",
+    )
+    serve.add_argument(
+        "--serve-executor", default=None, dest="serve_executor",
+        choices=("serial", "thread", "process"),
+        help="worker-pool backend for the service (default: $REPRO_EXECUTOR)",
+    )
+    serve.add_argument(
+        "--serve-workers", type=int, default=None, dest="serve_workers",
+        help="worker ranks the micro-batch is sharded across (serve-bench)",
+    )
+    serve.add_argument(
+        "--bench-dir", default=None, dest="bench_dir",
+        help="directory for the BENCH_serve.json manifest (serve-bench)",
+    )
     parser.add_argument(
         "--trace-out",
         default=os.environ.get("REPRO_TRACE_OUT") or None,
@@ -86,6 +116,13 @@ def main(argv: list[str] | None = None) -> int:
                     kwargs["frames_per_temperature"] = args.frames
                 if "seed" in sig.parameters:
                     kwargs["seed"] = args.seed
+                for opt in (
+                    "clients", "requests", "max_batch", "max_delay_ms",
+                    "serve_executor", "serve_workers", "bench_dir",
+                ):
+                    value = getattr(args, opt)
+                    if opt in sig.parameters and value is not None:
+                        kwargs[opt] = value
                 t0 = time.perf_counter()
                 # a no-op span unless --trace-out installed a tracer; with
                 # one, every experiment gets a top-level extent in the
@@ -97,6 +134,8 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"[{name} completed in {elapsed:.1f}s]\n")
                 metrics[f"{name}.seconds"] = elapsed
                 metrics[f"{name}.rows"] = len(report.rows)
+                if report.metrics:
+                    metrics[name] = report.metrics
     finally:
         if tracer is not None:
             _finish_trace(tracer, args, metrics)

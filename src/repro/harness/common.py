@@ -36,6 +36,9 @@ class Report:
     rows: list[list] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
     paper_reference: str = ""
+    #: headline numbers for the run manifest (merged into the
+    #: ``BENCH_<experiment>.json`` metrics by the CLI)
+    metrics: dict = field(default_factory=dict)
 
     def add_row(self, *values) -> None:
         self.rows.append(list(values))

@@ -1,0 +1,177 @@
+"""Serve benchmark: micro-batched inference vs one-request-at-a-time.
+
+The claim under test is the serving half of the paper's online-learning
+story: when many clients (MD walkers, selection queries) ask one model
+for per-frame energies/forces concurrently, collecting them into
+micro-batched forward passes buys large throughput gains -- the batched
+descriptor/network kernels amortize their Python and BLAS overheads over
+the batch -- and the descriptor/prediction caches turn repeat frames
+into near-free responses.
+
+Both modes run the *same* :class:`repro.serve.InferenceService`; the
+baseline simply pins ``max_batch=1`` and disables the caches, so the
+delta is attributable to micro-batching + caching rather than to
+differing code paths.
+
+Always writes a ``repro.bench/v1`` manifest ``BENCH_serve.json`` (into
+``--bench-dir``) carrying latency percentiles, throughput, speedup, and
+cache hit rates; ``--trace-out`` additionally produces the usual Chrome
+trace + span bundle.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+
+from ..model.session import ModelSession
+from ..serve import InferenceService, ServeConfig, ServeError
+from .common import Report, experiment_setup, parse_systems
+from .manifest import write_manifest
+
+
+def _drive(service: InferenceService, pool, species, cell, clients: int, per_client: int):
+    """Hammer the service from ``clients`` threads; returns (wall_s, errors)."""
+    barrier = threading.Barrier(clients + 1)
+    errors = [0] * clients
+
+    def client(k: int) -> None:
+        barrier.wait()
+        for j in range(per_client):
+            frame = pool[(k + j) % len(pool)]
+            try:
+                service.predict(frame, species, cell)
+            except ServeError:
+                errors[k] += 1
+
+    threads = [
+        threading.Thread(target=client, args=(k,), name=f"serve-client-{k}")
+        for k in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    return time.perf_counter() - t0, sum(errors)
+
+
+def run(
+    systems=None,
+    frames_per_temperature: int = 6,
+    clients: int = 8,
+    requests: int = 48,
+    max_batch: int = 8,
+    max_delay_ms: float = 2.0,
+    serve_executor=None,
+    serve_workers: int = 1,
+    bench_dir: str = "repro.bench",
+    seed: int = 0,
+) -> Report:
+    """Benchmark batched serving against the serial baseline.
+
+    ``requests`` is the total across all ``clients`` (rounded up to a
+    multiple); each client cycles through a shared frame pool smaller
+    than its request count, so repeat frames exercise the caches the way
+    rejected MC moves and committee queries do in production.
+    """
+    report = Report(
+        experiment="serve-bench",
+        title="micro-batched inference vs one-request-at-a-time",
+        headers=[
+            "system", "mode", "clients", "requests", "wall_s", "req/s",
+            "speedup", "p50_ms", "p99_ms", "batch_mean", "cache_hit%",
+        ],
+        paper_reference="Sec. 1 Fig. 1 (the online-learning serving loop)",
+    )
+    per_client = max(1, -(-requests // clients))
+    total = per_client * clients
+    metrics: dict = {
+        "clients": clients,
+        "requests": total,
+        "max_batch": max_batch,
+        "max_delay_ms": max_delay_ms,
+        "serve_workers": serve_workers,
+    }
+    for system in parse_systems(systems):
+        setup = experiment_setup(
+            system, frames_per_temperature=frames_per_temperature, seed=seed
+        )
+        model = setup.model(seed=seed + 1)
+        ds = setup.train
+        pool = [
+            np.ascontiguousarray(ds.positions[t])
+            for t in range(min(ds.n_frames, max(2, total // 3)))
+        ]
+        modes = {
+            "baseline": ServeConfig(
+                max_batch=1,
+                max_delay_s=0.0,
+                cache_neighbors=False,
+                cache_predictions=False,
+                executor=serve_executor,
+                world_size=1,
+            ),
+            "batched": ServeConfig(
+                max_batch=max_batch,
+                max_delay_s=max_delay_ms / 1000.0,
+                executor=serve_executor,
+                world_size=serve_workers,
+            ),
+        }
+        walls: dict = {}
+        for mode, cfg in modes.items():
+            with InferenceService(ModelSession(model), cfg) as svc:
+                wall, errors = _drive(
+                    svc, pool, ds.species, ds.cell, clients, per_client
+                )
+                stats = svc.stats()
+            walls[mode] = wall
+            throughput = total / wall if wall > 0 else 0.0
+            speedup = walls["baseline"] / wall if wall > 0 else 0.0
+            hit_rate = stats["prediction_cache"]["hit_rate"]
+            report.add_row(
+                system, mode, clients, total, wall, throughput, speedup,
+                stats["latency_s"]["p50"] * 1e3,
+                stats["latency_s"]["p99"] * 1e3,
+                stats["batch_occupancy"]["mean"],
+                hit_rate * 100.0,
+            )
+            metrics[f"{system}.{mode}"] = {
+                "wall_s": wall,
+                "throughput_rps": throughput,
+                "errors": errors,
+                "latency_p50_s": stats["latency_s"]["p50"],
+                "latency_p99_s": stats["latency_s"]["p99"],
+                "batch_occupancy_mean": stats["batch_occupancy"]["mean"],
+                "prediction_cache_hit_rate": hit_rate,
+                "neighbor_cache_hit_rate": stats["neighbor_cache"]["hit_rate"],
+                "responses": stats["responses"],
+                "batches": stats["batches"],
+            }
+        metrics[f"{system}.speedup"] = (
+            walls["baseline"] / walls["batched"] if walls["batched"] > 0 else 0.0
+        )
+        report.notes.append(
+            f"{system}: batched serving is {metrics[f'{system}.speedup']:.2f}x "
+            f"the serial baseline at {clients} concurrent clients"
+        )
+    report.metrics = metrics
+    os.makedirs(bench_dir, exist_ok=True)
+    path = write_manifest(
+        bench_dir,
+        "serve",
+        config={
+            "systems": systems, "frames_per_temperature": frames_per_temperature,
+            "clients": clients, "requests": total, "max_batch": max_batch,
+            "max_delay_ms": max_delay_ms, "serve_executor": serve_executor,
+            "serve_workers": serve_workers, "seed": seed,
+        },
+        metrics=metrics,
+    )
+    report.notes.append(f"manifest written to {path}")
+    return report

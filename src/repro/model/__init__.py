@@ -14,6 +14,13 @@ from .environment import (
 from .ensemble import EnsemblePrediction, ModelEnsemble
 from .network import DeePMD, EnergyForces
 from .params import ParamEntry, ParamStore
+from .session import (
+    InferenceSession,
+    ModelSession,
+    Prediction,
+    frame_fingerprint,
+    frames_to_batch,
+)
 
 __all__ = [
     "DeePMDConfig",
@@ -21,6 +28,11 @@ __all__ = [
     "EnergyForces",
     "ModelEnsemble",
     "EnsemblePrediction",
+    "InferenceSession",
+    "ModelSession",
+    "Prediction",
+    "frames_to_batch",
+    "frame_fingerprint",
     "DescriptorBatch",
     "EnvStats",
     "compute_stats",

@@ -6,16 +6,26 @@ models differing only in initialization, drive MD with one of them, and
 use the ensemble's **maximum atomic force deviation** as the uncertainty
 signal that decides which configurations need new reference labels.
 This module provides that ensemble.
+
+:class:`ModelEnsemble` implements the
+:class:`~repro.model.session.InferenceSession` protocol: frame-level
+``predict(positions, species, cell)`` calls return
+:class:`~repro.model.session.Prediction` objects carrying the committee
+mean plus the uncertainty fields.  The pre-protocol batched entry point
+(``predict(DescriptorBatch) -> EnsemblePrediction``) is kept for training
+code that already holds an assembled batch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from .environment import DescriptorBatch
 from .network import DeePMD
+from .session import InferenceSession
 
 
 @dataclass
@@ -30,7 +40,7 @@ class EnsemblePrediction:
     max_force_dev: np.ndarray  # (B,)
 
 
-class ModelEnsemble:
+class ModelEnsemble(InferenceSession):
     """A committee of DeePMD models sharing architecture and data stats."""
 
     def __init__(self, models: list[DeePMD]):
@@ -53,7 +63,27 @@ class ModelEnsemble:
         return self.models[0].cfg
 
     # ------------------------------------------------------------------
-    def predict(self, batch: DescriptorBatch, fused_env: bool = True) -> EnsemblePrediction:
+    def predict(self, batch, species=None, cell=None, fused_env: bool = True):
+        """Two entry points behind one name:
+
+        * ``predict(batch: DescriptorBatch)`` -- the pre-protocol batched
+          path, returns an :class:`EnsemblePrediction`;
+        * ``predict(positions, species, cell)`` -- the
+          :class:`InferenceSession` protocol, returns a single
+          :class:`~repro.model.session.Prediction`.
+        """
+        if isinstance(batch, DescriptorBatch):
+            return self._predict_batch(batch, fused_env=fused_env)
+        if species is None or cell is None:
+            raise TypeError(
+                "predict(positions, species, cell) requires species and cell "
+                "(or pass an assembled DescriptorBatch)"
+            )
+        return InferenceSession.predict(self, batch, species, cell)
+
+    def _predict_batch(
+        self, batch: DescriptorBatch, fused_env: bool = True
+    ) -> EnsemblePrediction:
         energies, forces = [], []
         for model in self.models:
             out = model.predict(batch, fused_env=fused_env)
@@ -70,6 +100,29 @@ class ModelEnsemble:
             max_force_dev=per_atom_dev.max(axis=1),
         )
 
+    def predict_descriptor_batch(self, batch: DescriptorBatch) -> dict:
+        ep = self._predict_batch(batch, fused_env=True)
+        return {
+            "energy": ep.energy,
+            "forces": ep.forces,
+            "energy_std": ep.energy_std,
+            "max_force_dev": ep.max_force_dev,
+        }
+
     def max_force_deviation(self, batch: DescriptorBatch) -> np.ndarray:
         """Just the selection signal (B,)."""
-        return self.predict(batch).max_force_dev
+        return self._predict_batch(batch).max_force_dev
+
+    # ------------------------------------------------------------------
+    def state_dicts(self) -> list[dict]:
+        """Per-member state (the hot-swap payload for ensemble serving)."""
+        return [m.state_dict() for m in self.models]
+
+    def _load_state(self, state: Sequence[dict]) -> None:
+        if len(state) != len(self.models):
+            raise ValueError(
+                f"swap payload has {len(state)} member states for "
+                f"{len(self.models)} models"
+            )
+        for model, member in zip(self.models, state):
+            model.load_state_dict(member)

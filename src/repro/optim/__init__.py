@@ -9,8 +9,14 @@ Every optimizer satisfies the :class:`Optimizer` protocol
 (``step_batch`` / ``state_dict`` / ``load_state_dict`` / ``hyperparams``).
 """
 
-from .checkpoint import load_checkpoint, save_checkpoint
-from .base import OPTIMIZER_NAMES, Optimizer, make_optimizer
+from .base import (
+    OPTIMIZER_NAMES,
+    Optimizer,
+    load_state,
+    make_optimizer,
+    save_state,
+)
+from .checkpoint import load_checkpoint, save_checkpoint  # deprecated aliases
 from .blocks import Block, block_shapes, p_memory_bytes, split_blocks, validate_blocks
 from .ekf import FEKF, NaiveEKF, RLEKF, UpdateStats
 from .first_order import SGD, Adam, ExponentialDecay, FirstOrderOptimizer, LossConfig
@@ -52,6 +58,8 @@ __all__ = [
     "FirstOrderOptimizer",
     "ExponentialDecay",
     "LossConfig",
+    "save_state",
+    "load_state",
     "save_checkpoint",
     "load_checkpoint",
 ]

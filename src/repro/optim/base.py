@@ -5,9 +5,14 @@ and the simulated data-parallel trainer -- satisfies one protocol:
 
 * ``step_batch(batch) -> dict`` -- one training step on a minibatch;
 * ``state_dict() / load_state_dict(state)`` -- full resumable state as a
-  flat ``{key: ndarray}`` mapping (what ``repro.optim.checkpoint``
-  serializes);
+  flat ``{key: ndarray}`` mapping (what :func:`save_state` serializes);
 * ``hyperparams`` -- a readable dict of the knobs that define the run.
+
+:func:`save_state` / :func:`load_state` are the protocol's one-file npz
+persistence: ``model/<key>`` entries plus whatever flat arrays the
+optimizer's ``state_dict`` reports.  They subsume the retired
+``repro.optim.checkpoint`` helpers (same on-disk layout, so old
+checkpoint files remain loadable).
 
 ``make_optimizer(name, model, **overrides)`` is the single construction
 entry point: experiment code names the algorithm and passes flat keyword
@@ -25,7 +30,8 @@ hyperparameter fails loudly instead of silently training the default.
 from __future__ import annotations
 
 import dataclasses
-from typing import Protocol, runtime_checkable
+import os
+from typing import Optional, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -34,7 +40,13 @@ from .ekf import FEKF, NaiveEKF, RLEKF
 from .first_order import SGD, Adam, ExponentialDecay, LossConfig
 from .kalman import KalmanConfig
 
-__all__ = ["Optimizer", "OPTIMIZER_NAMES", "make_optimizer"]
+__all__ = [
+    "Optimizer",
+    "OPTIMIZER_NAMES",
+    "make_optimizer",
+    "save_state",
+    "load_state",
+]
 
 
 @runtime_checkable
@@ -51,6 +63,49 @@ class Optimizer(Protocol):
 
     @property
     def hyperparams(self) -> dict: ...
+
+
+# ---------------------------------------------------------------------------
+# one-file persistence over the protocol (online learning across sessions)
+# ---------------------------------------------------------------------------
+def save_state(path: str, model: DeePMD, optimizer: "Optional[Optimizer]" = None) -> None:
+    """Write model weights (+ stats/bias) and, optionally, the full
+    optimizer state (via its ``state_dict()``) to one npz at ``path``.
+
+    FEKF's power comes from its filter state (P, lambda): resuming a
+    retraining session must restore the *optimizer*, not just the
+    weights, which is why this persists both in one file.
+    """
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    payload: dict[str, np.ndarray] = {}
+    for k, v in model.state_dict().items():
+        payload[f"model/{k}"] = v
+    if optimizer is not None:
+        opt_state = optimizer.state_dict()
+        clash = [k for k in opt_state if k.startswith("model/")]
+        if clash:
+            raise ValueError(f"optimizer state keys collide with model/: {clash}")
+        payload.update(opt_state)
+    np.savez_compressed(path, **payload)
+
+
+def load_state(path: str, model: DeePMD, optimizer: "Optional[Optimizer]" = None) -> None:
+    """Restore a file written by :func:`save_state` into an
+    already-constructed model (and optimizer, when present in the file).
+
+    The optimizer's structure must match the checkpoint (same network and
+    configuration); its ``load_state_dict`` raises on mismatches.
+    """
+    with np.load(path, allow_pickle=False) as z:
+        model.load_state_dict(
+            {k[len("model/"):]: z[k] for k in z.files if k.startswith("model/")}
+        )
+        if optimizer is None:
+            return
+        opt_state = {k: z[k] for k in z.files if not k.startswith("model/")}
+        if not opt_state:
+            raise KeyError(f"{path} holds no optimizer state")
+        optimizer.load_state_dict(opt_state)
 
 
 _KALMAN_FIELDS = {f.name for f in dataclasses.fields(KalmanConfig)}

@@ -1,57 +1,35 @@
-"""Checkpointing for online learning across sessions.
+"""Deprecated aliases for :func:`repro.optim.save_state` / ``load_state``.
 
-The online-learning workflow of Figure 1 retrains the same model dozens of
-times as new configurations arrive.  Because FEKF's power comes from its
-filter state (P, lambda), resuming a retraining session must restore the
-*optimizer*, not just the weights.
-
-These helpers are now thin shims over the ``Optimizer`` protocol's
-``state_dict()`` / ``load_state_dict()`` (see :mod:`repro.optim.base`):
-one npz file holds ``model/<key>`` entries plus whatever flat arrays the
-optimizer reports.  The on-disk keys for FEKF are unchanged from the
-pre-protocol era, so old checkpoint files remain loadable.  New code that
-wants custom storage should call ``optimizer.state_dict()`` directly.
+The checkpoint helpers moved onto the optimizer protocol surface in
+:mod:`repro.optim.base` (same one-npz on-disk layout, so existing
+checkpoint files remain loadable).  These re-exports emit a
+``DeprecationWarning`` and will be removed one release after the move --
+call ``repro.optim.save_state`` / ``load_state`` instead.
 """
 
 from __future__ import annotations
 
-import os
+import warnings
 
-import numpy as np
-
-from ..model.network import DeePMD
+from .base import load_state, save_state
 
 
-def save_checkpoint(path: str, model: DeePMD, optimizer=None) -> None:
-    """Write model weights (+ stats/bias) and, optionally, the full
-    optimizer state (via its ``state_dict()``) to ``path``."""
-    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
-    payload: dict[str, np.ndarray] = {}
-    for k, v in model.state_dict().items():
-        payload[f"model/{k}"] = v
-    if optimizer is not None:
-        opt_state = optimizer.state_dict()
-        clash = [k for k in opt_state if k.startswith("model/")]
-        if clash:
-            raise ValueError(f"optimizer state keys collide with model/: {clash}")
-        payload.update(opt_state)
-    np.savez_compressed(path, **payload)
+def _warn(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.optim.checkpoint.{old} is deprecated; "
+        f"use repro.optim.{new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
-def load_checkpoint(path: str, model: DeePMD, optimizer=None) -> None:
-    """Restore a checkpoint written by :func:`save_checkpoint` into an
-    already-constructed model (and optimizer, when present in the file).
+def save_checkpoint(path, model, optimizer=None) -> None:
+    """Deprecated: use :func:`repro.optim.save_state`."""
+    _warn("save_checkpoint", "save_state")
+    save_state(path, model, optimizer)
 
-    The optimizer's structure must match the checkpoint (same network and
-    configuration); its ``load_state_dict`` raises on mismatches.
-    """
-    with np.load(path, allow_pickle=False) as z:
-        model.load_state_dict(
-            {k[len("model/"):]: z[k] for k in z.files if k.startswith("model/")}
-        )
-        if optimizer is None:
-            return
-        opt_state = {k: z[k] for k in z.files if not k.startswith("model/")}
-        if not opt_state:
-            raise KeyError(f"{path} holds no optimizer state")
-        optimizer.load_state_dict(opt_state)
+
+def load_checkpoint(path, model, optimizer=None) -> None:
+    """Deprecated: use :func:`repro.optim.load_state`."""
+    _warn("load_checkpoint", "load_state")
+    load_state(path, model, optimizer)

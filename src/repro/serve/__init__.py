@@ -1,0 +1,38 @@
+"""repro.serve -- batched inference serving for trained models.
+
+The online-learning deployment the paper motivates (Sec. 1's Figure 1)
+needs the freshly trained model *served*: many MD walkers and selection
+queries asking for energies/forces concurrently, while training keeps
+producing new weights.  This package provides that server as just
+another :class:`repro.model.InferenceSession`:
+
+    with InferenceService(ModelSession(model), ServeConfig()) as svc:
+        pred = svc.predict(positions, species, cell)
+        svc.swap(new_state)        # hot swap; pred.model_version tells
+
+See :mod:`repro.serve.service` for the micro-batching / caching /
+hot-swap design notes.
+"""
+
+from .cache import LRUCache
+from .config import ServeConfig
+from .service import (
+    InferenceService,
+    ServeError,
+    ServeOverloaded,
+    ServeTimeout,
+    ServiceStopped,
+)
+from .worker import PredictSpec, PredictWorker
+
+__all__ = [
+    "ServeConfig",
+    "InferenceService",
+    "LRUCache",
+    "PredictSpec",
+    "PredictWorker",
+    "ServeError",
+    "ServeOverloaded",
+    "ServeTimeout",
+    "ServiceStopped",
+]

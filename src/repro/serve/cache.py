@@ -1,0 +1,84 @@
+"""LRU caches for the serve layer.
+
+Two caches ride on the same primitive:
+
+* the **neighbor cache** maps a frame fingerprint (positions + cell +
+  cutoff, see :func:`repro.model.frame_fingerprint`) to its
+  :class:`~repro.md.neighbor.NeighborTable` -- the O(N * Nm) table build
+  dominates small-system inference, and MD clients re-evaluate identical
+  frames (rejected MC moves, committee queries, replayed trajectories);
+* the **prediction cache** maps ``(fingerprint, model_version)`` to a
+  finished :class:`~repro.model.Prediction`, so bit-identical repeat
+  requests skip the forward pass entirely.  Keying on the model version
+  makes hot swap correct by construction, and
+  :meth:`InferenceService.swap` additionally purges the cache eagerly so
+  stale entries do not occupy capacity.
+
+Both caches are guarded by the service's queue lock -- no internal
+locking here.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction and hit stats."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Value for ``key`` (refreshing recency) or ``None`` on miss."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (hit/miss counters survive -- they describe
+        the cache's whole service life, not one generation)."""
+        self._data.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self._data),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,584 @@
+"""The batched inference service: micro-batching, caching, hot swap.
+
+:class:`InferenceService` wraps any :class:`repro.model.InferenceSession`
+and serves its predictions to concurrent clients through the *same*
+session protocol -- a client cannot tell (other than by throughput)
+whether it holds a bare :class:`~repro.model.ModelSession` or a server
+multiplexing eight MD walkers onto one forward pass.
+
+Request path
+------------
+``predict`` computes the frame fingerprint, consults the prediction
+cache, and on a miss enqueues the request into a bounded queue.  A
+single batcher thread collects compatible requests (same atom count,
+species, and cell) into micro-batches, flushing on whichever trigger
+fires first: ``max_batch`` frames or the oldest request aging past
+``max_delay_s``.  Each micro-batch becomes one neighbor-cached
+:class:`DescriptorBatch`, sharded across the rank workers of a
+:mod:`repro.parallel.executor` backend and stitched back in rank order
+-- so results are bit-identical to a direct ``predict_many`` on the
+wrapped session, batched or not, sharded or not.
+
+Hot swap
+--------
+``swap(state)`` loads new weights into the service's local session,
+bumps the monotonic ``model_version``, records the payload for the lazy
+worker broadcast, and purges the prediction cache.  The batcher
+snapshots ``(version, payload)`` *once per micro-batch* and syncs
+workers before dispatch, so every batch -- and therefore every response
+-- is computed entirely under a single version; requests in flight when
+``swap`` lands simply drain under the version they were dispatched with.
+Every :class:`~repro.model.Prediction` carries the version that produced
+it, which is what the swap tests assert on.
+
+Degradation
+-----------
+Submissions beyond ``max_queue`` are rejected with
+:class:`ServeOverloaded` (backpressure, never unbounded memory); a
+request that waits longer than its timeout raises :class:`ServeTimeout`
+at the caller and is skipped by the batcher; a rank that crashes twice
+(:class:`~repro.parallel.executor.WorkerCrash`) triggers ``heal`` plus a
+serial fallback through the local session -- the batch is never lost,
+mirroring the data-parallel trainer's semantics.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import replace
+from typing import Optional
+
+import numpy as np
+
+from ..md.cell import Cell
+from ..md.neighbor import neighbor_table
+from ..model.environment import DescriptorBatch
+from ..model.session import (
+    InferenceSession,
+    Prediction,
+    frame_fingerprint,
+    frames_to_batch,
+)
+from ..parallel.executor import Executor, WorkerCrash, make_executor
+from ..telemetry import metrics as _metrics
+from ..telemetry.metrics import Histogram
+from ..telemetry.trace import Tracer, current_tracer, span as _span
+from .cache import LRUCache
+from .config import ServeConfig
+from .worker import PredictSpec
+
+__all__ = [
+    "ServeError",
+    "ServeOverloaded",
+    "ServeTimeout",
+    "ServiceStopped",
+    "InferenceService",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class of every serve-layer failure."""
+
+
+class ServeOverloaded(ServeError):
+    """The bounded request queue is full (backpressure)."""
+
+
+class ServeTimeout(ServeError):
+    """A request exceeded its wall-clock budget (queue wait + compute)."""
+
+
+class ServiceStopped(ServeError):
+    """The service is not accepting requests (stopped or never started)."""
+
+
+class _Request:
+    """One queued frame plus its rendezvous state."""
+
+    __slots__ = (
+        "positions", "species", "cell", "fingerprint", "group_key",
+        "event", "prediction", "error", "deadline", "t_submit", "cancelled",
+    )
+
+    def __init__(self, positions, species, cell, fingerprint, group_key, timeout_s):
+        self.positions = positions
+        self.species = species
+        self.cell = cell
+        self.fingerprint = fingerprint
+        self.group_key = group_key
+        self.event = threading.Event()
+        self.prediction: Optional[Prediction] = None
+        self.error: Optional[Exception] = None
+        self.deadline = time.monotonic() + timeout_s
+        self.t_submit = time.perf_counter()
+        self.cancelled = False
+
+
+class InferenceService(InferenceSession):
+    """Serve an :class:`InferenceSession` to concurrent clients.
+
+    Parameters
+    ----------
+    session:
+        The prediction surface to serve (a :class:`ModelSession`, a
+        :class:`ModelEnsemble` for uncertainty-carrying responses, or a
+        :class:`DeePMDCalculator`).
+    config:
+        Micro-batching / caching / degradation knobs.
+    """
+
+    def __init__(self, session: InferenceSession, config: Optional[ServeConfig] = None):
+        self._session = session
+        self.config = config or ServeConfig()
+        self._cond = threading.Condition()
+        # reentrant: _process holds it across the worker sync, whose
+        # crash path re-enters via _heal
+        self._swap_lock = threading.RLock()
+        self._queue: list[_Request] = []
+        self._stopping = False
+        self._drain = True
+        self._started = False
+        self._thread: Optional[threading.Thread] = None
+        self._executor: Optional[Executor] = None
+        self._spec: Optional[PredictSpec] = None
+        #: swap payload not yet broadcast to workers (lazy sync)
+        self._pending_state = None
+        self._worker_version = session.model_version
+        self._neighbor_cache = LRUCache(self.config.cache_capacity)
+        self._prediction_cache = LRUCache(self.config.cache_capacity)
+        #: service-local distributions (the global REGISTRY also gets the
+        #: counters, but a benchmark comparing two service instances needs
+        #: per-instance stats)
+        self._latency = Histogram()
+        self._occupancy = Histogram()
+        self._counts = {
+            "requests": 0, "responses": 0, "batches": 0, "cache_hits": 0,
+            "timeouts": 0, "rejected": 0, "fallbacks": 0,
+        }
+        self._ambient_tracer: Optional[Tracer] = None
+        self._loop_tracer: Optional[Tracer] = None
+        self._capture: "bool | str" = False
+
+    # ------------------------------------------------------------------
+    # InferenceSession surface
+    # ------------------------------------------------------------------
+    @property
+    def cfg(self):
+        return self._session.cfg
+
+    @property
+    def model_version(self) -> int:
+        return self._session.model_version
+
+    def predict_descriptor_batch(self, batch: DescriptorBatch) -> dict:
+        """Direct (unbatched, uncached) path through the local session."""
+        with self._swap_lock:
+            return self._session.predict_descriptor_batch(batch)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "InferenceService":
+        """Spin up the worker pool and the batcher thread."""
+        if self._started:
+            return self
+        self._stopping = False
+        models = getattr(self._session, "models", None)
+        if models is None:
+            model = getattr(self._session, "model", None)
+            models = None if model is None else [model]
+        if models is not None:
+            self._spec = PredictSpec(
+                models=list(models), fused_env=self.config.fused_env
+            )
+            self._executor = make_executor(
+                self.config.executor, self.config.world_size
+            )
+            self._executor.start(self._spec)
+            # replicas are deep copies of the session's *current* models
+            self._worker_version = self._session.model_version
+        # telemetry is pay-for-what-you-use: capture worker spans only
+        # when the starting thread has a tracer installed
+        self._ambient_tracer = current_tracer()
+        if self._ambient_tracer is not None:
+            profiling = self._ambient_tracer.profiler is not None
+            self._capture = "profile" if profiling else True
+        else:
+            self._capture = False
+        self._thread = threading.Thread(
+            target=self._serve_loop, name="serve-batcher", daemon=True
+        )
+        self._thread.start()
+        self._started = True
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the batcher (``drain=True`` finishes queued requests
+        first; ``False`` fails them with :class:`ServiceStopped`) and
+        tear down the worker pool."""
+        if not self._started:
+            return
+        with self._cond:
+            self._stopping = True
+            self._drain = drain
+            self._cond.notify_all()
+        self._thread.join()
+        self._thread = None
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+        self._merge_loop_telemetry()
+        self._started = False
+
+    def __enter__(self) -> "InferenceService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        positions: np.ndarray,
+        species: np.ndarray,
+        cell: Cell,
+        timeout: Optional[float] = None,
+    ) -> Prediction:
+        """One frame through the micro-batching queue (blocking)."""
+        req = self._submit(positions, species, cell, timeout)
+        if isinstance(req, Prediction):
+            return req
+        return self._await(req)
+
+    def predict_many(
+        self,
+        frames: np.ndarray,
+        species: np.ndarray,
+        cell: Cell,
+        timeout: Optional[float] = None,
+    ) -> list[Prediction]:
+        """Submit every frame at once (they co-batch), then collect."""
+        frames = np.asarray(frames, dtype=np.float64)
+        pending: list = []
+        try:
+            for pos in frames:
+                pending.append(self._submit(pos, species, cell, timeout))
+        except ServeError:
+            for item in pending:
+                if isinstance(item, _Request):
+                    self._cancel(item)
+            raise
+        return [
+            item if isinstance(item, Prediction) else self._await(item)
+            for item in pending
+        ]
+
+    def _submit(self, positions, species, cell, timeout):
+        """Cache-check then enqueue; returns a :class:`Prediction` on a
+        cache hit, else the queued :class:`_Request`."""
+        positions = np.asarray(positions, dtype=np.float64)
+        species = np.asarray(species, dtype=np.int64)
+        c = self.cfg
+        fp = frame_fingerprint(positions, cell, c.rcut, c.nmax)
+        skey = species.tobytes()
+        timeout_s = self.config.request_timeout_s if timeout is None else float(timeout)
+        with self._cond:
+            if self._stopping or not self._started:
+                raise ServiceStopped("inference service is not running")
+            self._counts["requests"] += 1
+            _metrics.REGISTRY.counter("serve.requests").inc()
+            if self.config.cache_predictions:
+                hit = self._prediction_cache.get(
+                    (fp, skey, self._session.model_version)
+                )
+                if hit is not None:
+                    self._counts["cache_hits"] += 1
+                    self._counts["responses"] += 1
+                    _metrics.REGISTRY.counter("serve.cache_hits").inc()
+                    return replace(hit, cached=True)
+            if len(self._queue) >= self.config.max_queue:
+                self._counts["rejected"] += 1
+                _metrics.REGISTRY.counter("serve.rejected").inc()
+                raise ServeOverloaded(
+                    f"request queue full ({self.config.max_queue} pending)"
+                )
+            group_key = (
+                positions.shape[0],
+                skey,
+                np.asarray(cell.lengths, dtype=np.float64).tobytes(),
+            )
+            req = _Request(positions, species, cell, fp, group_key, timeout_s)
+            self._queue.append(req)
+            _metrics.REGISTRY.gauge("serve.queue_depth").set(len(self._queue))
+            self._cond.notify_all()
+        return req
+
+    def _await(self, req: _Request) -> Prediction:
+        remaining = req.deadline - time.monotonic()
+        if not req.event.wait(timeout=max(remaining, 0.0)):
+            self._cancel(req)
+            # the batcher may have fulfilled it between expiry and cancel
+            if not req.event.is_set():
+                self._counts["timeouts"] += 1
+                _metrics.REGISTRY.counter("serve.timeouts").inc()
+                raise ServeTimeout(
+                    f"request expired after {self.config.request_timeout_s}s"
+                )
+        if req.error is not None:
+            raise req.error
+        return req.prediction
+
+    def _cancel(self, req: _Request) -> None:
+        with self._cond:
+            if not req.event.is_set():
+                req.cancelled = True
+                if req in self._queue:
+                    self._queue.remove(req)
+
+    # ------------------------------------------------------------------
+    # hot swap
+    # ------------------------------------------------------------------
+    def swap(self, state) -> int:
+        """Load new weights; returns the new monotonic model version.
+
+        In-flight micro-batches drain under the version they were
+        dispatched with; the next batch (and every later response) is
+        computed under the new one.  The prediction cache is purged --
+        its entries are keyed by version, so the purge frees capacity
+        rather than preventing staleness.
+        """
+        with self._swap_lock:
+            version = self._session.swap(state)
+            self._pending_state = state
+            with self._cond:
+                self._prediction_cache.clear()
+        _metrics.REGISTRY.counter("serve.swaps").inc()
+        return version
+
+    # ------------------------------------------------------------------
+    # batcher
+    # ------------------------------------------------------------------
+    def _serve_loop(self) -> None:
+        tracer = None
+        if self._ambient_tracer is not None:
+            tracer = Tracer(keep_events=True, profile=self._capture == "profile")
+            tracer.__enter__()
+        try:
+            while True:
+                group = self._collect()
+                if group is None:
+                    break
+                self._process(group)
+        finally:
+            if tracer is not None:
+                tracer.__exit__(None, None, None)
+                self._loop_tracer = tracer
+            self._fail_remaining()
+
+    def _collect(self) -> Optional[list[_Request]]:
+        """Block until a flush trigger fires; returns one compatible
+        micro-batch (or ``None`` when stopped and done)."""
+        cfg = self.config
+        with self._cond:
+            while True:
+                if self._stopping and not self._drain:
+                    return None  # _fail_remaining rejects whatever is queued
+                self._queue = [r for r in self._queue if not r.cancelled]
+                if self._queue:
+                    break
+                if self._stopping:
+                    return None
+                self._cond.wait(timeout=0.05)
+            head = self._queue[0]
+            flush_at = time.monotonic() + cfg.max_delay_s
+            while True:
+                group = [
+                    r for r in self._queue
+                    if not r.cancelled and r.group_key == head.group_key
+                ][: cfg.max_batch]
+                now = time.monotonic()
+                if len(group) >= cfg.max_batch or now >= flush_at or self._stopping:
+                    for r in group:
+                        self._queue.remove(r)
+                    _metrics.REGISTRY.gauge("serve.queue_depth").set(len(self._queue))
+                    return group
+                self._cond.wait(timeout=flush_at - now)
+
+    def _sync_workers_locked(self) -> None:
+        """Broadcast the pending swap payload (caller holds _swap_lock)."""
+        version = self._session.model_version
+        if self._executor is None or self._worker_version == version:
+            return
+        self._executor.broadcast("set_weights", self._pending_state)
+        self._worker_version = version
+
+    def _process(self, group: list[_Request]) -> None:
+        cfg = self.config
+        with self._swap_lock:
+            version = self._session.model_version
+            try:
+                self._sync_workers_locked()
+            except WorkerCrash:
+                self._heal()
+        with _span("serve.batch", size=len(group), version=version):
+            batch = self._assemble(group)
+            out = None
+            if self._executor is not None:
+                try:
+                    out = self._dispatch(batch)
+                except WorkerCrash:
+                    self._counts["fallbacks"] += 1
+                    _metrics.REGISTRY.counter("serve.fallbacks").inc()
+                    self._heal()
+            if out is None:
+                # serial fallback (or a session with no extractable
+                # models): compute under the swap lock so the stamped
+                # version always matches the weights used
+                with self._swap_lock, _span("serve.fallback"):
+                    out = self._session.predict_descriptor_batch(batch)
+                    version = self._session.model_version
+        self._respond(group, out, version)
+
+    def _assemble(self, group: list[_Request]) -> DescriptorBatch:
+        """Micro-batch -> one DescriptorBatch, through the neighbor cache."""
+        c = self.cfg
+        tables: "list | None" = None
+        if self.config.cache_neighbors:
+            tables = []
+            with self._cond:
+                cached = [self._neighbor_cache.get(r.fingerprint) for r in group]
+            for r, table in zip(group, cached):
+                if table is None:
+                    table = neighbor_table(r.positions, r.cell, c.rcut, c.nmax)
+                    with self._cond:
+                        self._neighbor_cache.put(r.fingerprint, table)
+                tables.append(table)
+        frames = np.stack([r.positions for r in group])
+        return frames_to_batch(
+            frames, group[0].species, group[0].cell, c, tables=tables
+        )
+
+    def _dispatch(self, batch: DescriptorBatch) -> dict:
+        """Shard the batch across ranks, run one forward per rank, stitch
+        the outputs back in rank order (determinism)."""
+        world = self._executor.world_size
+        b = batch.batch_size
+        base, rem = divmod(b, world)
+        shards, lo = [], 0
+        for rank in range(world):
+            size = base + (1 if rank < rem else 0)
+            shards.append(batch.frame_slice(lo, lo + size) if size else None)
+            lo += size
+        results = self._executor.submit(
+            [("predict_task", (shard,)) for shard in shards],
+            capture=self._capture,
+        )
+        outs = []
+        for res in results:
+            if res is None:
+                continue
+            self._merge_worker_telemetry(res.telemetry)
+            if res.payload is not None:
+                outs.append(res.payload)
+        keys = [k for k, v in outs[0].items() if v is not None]
+        return {k: np.concatenate([o[k] for o in outs]) for k in keys}
+
+    def _heal(self) -> None:
+        """Respawn dead ranks and re-sync replicas to the live weights."""
+        if self._executor is None:
+            return
+        try:
+            with self._swap_lock:
+                self._executor.heal(self._spec, self._pending_state)
+                self._worker_version = self._session.model_version
+        except Exception:
+            # pool unrecoverable: all further batches use the fallback
+            self._executor.close()
+            self._executor = None
+
+    def _respond(self, group: list[_Request], out: dict, version: int) -> None:
+        e_std = out.get("energy_std")
+        dev = out.get("max_force_dev")
+        self._counts["batches"] += 1
+        _metrics.REGISTRY.counter("serve.batches").inc()
+        self._occupancy.observe(len(group))
+        _metrics.REGISTRY.histogram("serve.batch_occupancy").observe(len(group))
+        now = time.perf_counter()
+        for t, req in enumerate(group):
+            pred = Prediction(
+                energy=float(out["energy"][t]),
+                forces=out["forces"][t],
+                model_version=version,
+                energy_std=None if e_std is None else float(e_std[t]),
+                max_force_dev=None if dev is None else float(dev[t]),
+            )
+            with self._cond:
+                if self.config.cache_predictions:
+                    self._prediction_cache.put(
+                        (req.fingerprint, req.group_key[1], version), pred
+                    )
+                if req.cancelled:
+                    continue
+                req.prediction = pred
+                self._counts["responses"] += 1
+                req.event.set()
+            latency = now - req.t_submit
+            self._latency.observe(latency)
+            _metrics.REGISTRY.histogram("serve.latency_s").observe(latency)
+
+    def _fail_remaining(self) -> None:
+        with self._cond:
+            for req in self._queue:
+                if not req.event.is_set():
+                    req.error = ServiceStopped("service stopped before dispatch")
+                    req.event.set()
+            self._queue = []
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def _merge_worker_telemetry(self, t) -> None:
+        _metrics.REGISTRY.merge_counters(t.counters, rank=t.rank)
+        tracer = current_tracer()  # the batcher's loop tracer
+        if tracer is None:
+            return
+        if t.spans:
+            tracer.emit_foreign(t.spans, rank=t.rank, pid=t.pid)
+        if t.ops and tracer.profiler is not None:
+            tracer.profiler.emit_foreign(t.ops, rank=t.rank, pid=t.pid)
+
+    def _merge_loop_telemetry(self) -> None:
+        """Fold the batcher thread's locally captured spans/ops into the
+        tracer that was ambient when the service started (tracer stacks
+        are thread-local, so this is the only way they ever meet)."""
+        loop, ambient = self._loop_tracer, self._ambient_tracer
+        self._loop_tracer = None
+        if loop is None or ambient is None:
+            return
+        if loop.events:
+            ambient.emit_foreign(
+                [e.as_dict() for e in loop.events], thread="serve-batcher"
+            )
+        if loop.profiler is not None and ambient.profiler is not None:
+            ambient.profiler.emit_foreign(
+                [o.as_dict() for o in loop.profiler.events], rank=-1
+            )
+
+    def stats(self) -> dict:
+        """JSON-ready service-life statistics (per-instance)."""
+        lat = self._latency.summary()
+        lat["p99"] = self._latency.percentile(99)
+        with self._cond:
+            depth = len(self._queue)
+        return {
+            **dict(self._counts),
+            "model_version": self._session.model_version,
+            "queue_depth": depth,
+            "latency_s": lat,
+            "batch_occupancy": self._occupancy.summary(),
+            "neighbor_cache": self._neighbor_cache.stats(),
+            "prediction_cache": self._prediction_cache.stats(),
+        }

@@ -1,0 +1,138 @@
+"""Rank workers for the inference service.
+
+The serve layer reuses the executor substrate built for data-parallel
+FEKF (:mod:`repro.parallel.executor`): executors are duck-typed over a
+``spec.build(rank)`` factory and a ``worker.run(method, args, capture)``
+entry point, so a prediction worker rides the serial / thread / process
+backends unchanged -- same retry-once semantics, same rank-ordered
+result collection, same :class:`~repro.optim.worker.TaskResult`
+telemetry envelope, same :class:`~repro.optim.worker.FaultInjector`
+hook for robustness tests.
+
+Each rank owns an independent replica of the served model (or committee)
+and receives micro-batch *shards*; hot swap reaches workers as a
+``set_weights`` broadcast carrying the state-dict payload, which also
+makes :meth:`Executor.heal` work verbatim after a crash.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..model.environment import DescriptorBatch
+from ..model.network import DeePMD
+from ..model.session import InferenceSession, ModelSession
+from ..model.ensemble import ModelEnsemble
+from ..optim.worker import FaultInjector, TaskResult, WorkerTelemetry
+from ..telemetry.trace import Tracer
+
+__all__ = ["PredictWorker", "PredictSpec", "SERVE_TASK_METHODS"]
+
+#: methods dispatchable through :meth:`PredictWorker.run`
+SERVE_TASK_METHODS = frozenset({"predict_task", "set_weights", "set_fault"})
+
+
+def session_for_models(models: Sequence[DeePMD], fused_env: bool = True) -> InferenceSession:
+    """One model -> :class:`ModelSession`; several -> :class:`ModelEnsemble`
+    (committee mean + uncertainty in every response)."""
+    models = list(models)
+    if not models:
+        raise ValueError("need at least one model to serve")
+    if len(models) == 1:
+        return ModelSession(models[0], fused_env=fused_env)
+    return ModelEnsemble(models)
+
+
+class PredictWorker:
+    """Forward-only compute over one replica of the served session."""
+
+    def __init__(
+        self, models: Sequence[DeePMD], fused_env: bool = True, rank: int = 0
+    ):
+        self.session = session_for_models(models, fused_env=fused_env)
+        self.rank = int(rank)
+        self.fault: Optional[FaultInjector] = None
+
+    # ------------------------------------------------------------------
+    # tasks
+    # ------------------------------------------------------------------
+    def predict_task(self, shard: Optional[DescriptorBatch]) -> Optional[dict]:
+        """Raw batched forward over this rank's shard (``None`` /
+        zero-frame shards short-circuit -- ranks beyond the batch size in
+        a small flush simply idle)."""
+        if shard is None or shard.batch_size == 0:
+            return None
+        return self.session.predict_descriptor_batch(shard)
+
+    def set_weights(self, state) -> None:
+        """Load a hot-swap payload (``None`` re-syncs are no-ops, so
+        :meth:`Executor.heal` works before any swap has happened)."""
+        if state is not None:
+            self.session.swap(state)
+
+    def set_fault(self, fault: Optional[FaultInjector]) -> None:
+        self.fault = fault
+
+    # ------------------------------------------------------------------
+    # executor entry point (same envelope as GradientWorker.run)
+    # ------------------------------------------------------------------
+    def run(
+        self, method: str, args: tuple = (), capture: "bool | str" = False
+    ) -> TaskResult:
+        if method not in SERVE_TASK_METHODS:
+            raise ValueError(f"unknown serve worker task {method!r}")
+        if self.fault is not None:
+            self.fault.check(method, self.rank)
+        t0 = time.perf_counter()
+        c0 = time.process_time()
+        if capture:
+            with Tracer(keep_events=True, profile=capture == "profile") as tracer:
+                if method == "predict_task":
+                    with tracer.span("serve.worker_predict", method=method):
+                        payload = getattr(self, method)(*args)
+                else:
+                    payload = getattr(self, method)(*args)
+            spans = [e.as_dict() for e in tracer.events]
+            ops = (
+                [o.as_dict() for o in tracer.profiler.events]
+                if tracer.profiler is not None
+                else []
+            )
+        else:
+            payload = getattr(self, method)(*args)
+            spans = []
+            ops = []
+        telemetry = WorkerTelemetry(
+            rank=self.rank,
+            pid=os.getpid(),
+            wall_s=time.perf_counter() - t0,
+            cpu_s=time.process_time() - c0,
+            counters={"serve.worker_tasks": 1.0},
+            spans=spans,
+            ops=ops,
+        )
+        return TaskResult(payload=payload, telemetry=telemetry)
+
+
+@dataclass
+class PredictSpec:
+    """Picklable recipe for building rank prediction workers.
+
+    ``build`` deep-copies the models so every rank owns an independent
+    replica; after a respawn the service's lazy ``set_weights`` broadcast
+    (or :meth:`Executor.heal`) restores the live weights.
+    """
+
+    models: list = field(default_factory=list)
+    fused_env: bool = True
+
+    def build(self, rank: int = 0) -> PredictWorker:
+        return PredictWorker(
+            [copy.deepcopy(m) for m in self.models],
+            fused_env=self.fused_env,
+            rank=rank,
+        )

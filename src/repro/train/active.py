@@ -17,23 +17,30 @@ Each round:
 
 Minutes-scale training (the paper's contribution) is what makes running
 this loop dozens of times practical.
+
+All predictions flow through the :class:`repro.model.InferenceSession`
+protocol: exploration drives MD with a :class:`DeePMDCalculator` session
+and selection scores candidates with the ensemble session's batched
+``predict_many`` -- no descriptor plumbing is built here (that stays
+inside ``repro.model``/``repro.serve``, enforced by the test suite).
+A :class:`repro.serve.InferenceService` wrapping the same ensemble can be
+passed as ``scorer`` to serve the selection phase remotely.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..data.dataset import Dataset
 from ..md.cell import Cell
 from ..md.integrator import LangevinIntegrator
-from ..md.neighbor import neighbor_table
 from ..md.potentials import Potential
 from ..model.calculator import DeePMDCalculator
-from ..model.environment import DescriptorBatch
 from ..model.ensemble import ModelEnsemble
+from ..model.session import InferenceSession
 from ..optim.ekf import FEKF
 from ..optim.kalman import KalmanConfig
 from .trainer import Trainer
@@ -71,7 +78,13 @@ class ActiveLearningConfig:
 
 
 class ActiveLearner:
-    """Runs the explore/select/label/train loop."""
+    """Runs the explore/select/label/train loop.
+
+    ``scorer`` optionally overrides the session used for the select
+    phase -- any :class:`InferenceSession` whose predictions carry
+    ``max_force_dev`` (the ensemble itself by default; a batched
+    :class:`repro.serve.InferenceService` in the online setting).
+    """
 
     def __init__(
         self,
@@ -84,6 +97,7 @@ class ActiveLearner:
         kalman_cfg: KalmanConfig | None = None,
         initial_data: Dataset | None = None,
         seed: int = 0,
+        scorer: InferenceSession | None = None,
     ):
         self.ensemble = ensemble
         self.reference = reference
@@ -91,6 +105,8 @@ class ActiveLearner:
         self.masses = np.asarray(masses, dtype=np.float64)
         self.cell = cell
         self.cfg = cfg or ActiveLearningConfig()
+        #: the select-phase session (ensemble committee by default)
+        self.scorer: InferenceSession = scorer if scorer is not None else ensemble
         self._rng = np.random.default_rng(seed)
         kcfg = kalman_cfg or KalmanConfig(blocksize=2048, fused_update=True)
         #: one persistent filter per committee member
@@ -130,23 +146,9 @@ class ActiveLearner:
             frames.append(state.positions.copy())
         return np.stack(frames)
 
-    def _batch_for(self, frames: np.ndarray) -> DescriptorBatch:
-        cfg = self.ensemble.cfg
-        n = frames.shape[1]
-        idx = np.zeros((len(frames), n, cfg.nmax), dtype=np.int64)
-        shift = np.zeros((len(frames), n, cfg.nmax, 3))
-        mask = np.zeros((len(frames), n, cfg.nmax), dtype=bool)
-        for t, pos in enumerate(frames):
-            table = neighbor_table(pos, self.cell, cfg.rcut, cfg.nmax)
-            idx[t], shift[t], mask[t] = table.idx, table.shift, table.mask
-        frame_offset = (np.arange(len(frames)) * n)[:, None, None]
-        return DescriptorBatch(
-            coords=frames, idx_flat=idx + frame_offset, shift=shift,
-            mask=mask, species=self.species,
-        )
-
     def _select(self, frames: np.ndarray) -> tuple[np.ndarray, float]:
-        devs = self.ensemble.max_force_deviation(self._batch_for(frames))
+        preds = self.scorer.predict_many(frames, self.species, self.cell)
+        devs = np.array([p.max_force_dev for p in preds], dtype=np.float64)
         keep = (devs > self.cfg.select_lo) & (devs < self.cfg.select_hi)
         chosen = np.where(keep)[0]
         if len(chosen) > self.cfg.max_new_frames:

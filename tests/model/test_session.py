@@ -1,0 +1,172 @@
+"""The unified InferenceSession protocol (PR 5's prediction surface)."""
+
+import numpy as np
+import pytest
+
+from repro.md.neighbor import neighbor_table
+from repro.model import (
+    DeePMD,
+    DescriptorBatch,
+    InferenceSession,
+    ModelEnsemble,
+    ModelSession,
+    Prediction,
+    frame_fingerprint,
+    frames_to_batch,
+)
+from repro.model.calculator import DeePMDCalculator
+
+
+@pytest.fixture()
+def session(cu_model):
+    return ModelSession(cu_model)
+
+
+class TestFramesToBatch:
+    def test_matches_hand_built_batch(self, cu_dataset, small_cfg):
+        """frames_to_batch must reproduce the exact per-frame assembly the
+        active-learning loop used to hand-roll (bit-identity regression)."""
+        frames = cu_dataset.positions[:3]
+        batch = frames_to_batch(frames, cu_dataset.species, cu_dataset.cell, small_cfg)
+        b, n = frames.shape[:2]
+        idx = np.zeros((b, n, small_cfg.nmax), dtype=np.int64)
+        shift = np.zeros((b, n, small_cfg.nmax, 3))
+        mask = np.zeros((b, n, small_cfg.nmax), dtype=bool)
+        for t, pos in enumerate(frames):
+            table = neighbor_table(pos, cu_dataset.cell, small_cfg.rcut, small_cfg.nmax)
+            idx[t], shift[t], mask[t] = table.idx, table.shift, table.mask
+        offset = (np.arange(b) * n)[:, None, None]
+        assert np.array_equal(batch.coords, frames)
+        assert np.array_equal(batch.idx_flat, idx + offset)
+        assert np.array_equal(batch.shift, shift)
+        assert np.array_equal(batch.mask, mask)
+
+    def test_precomputed_tables_reused(self, cu_dataset, small_cfg):
+        frames = cu_dataset.positions[:2]
+        tables = [
+            neighbor_table(pos, cu_dataset.cell, small_cfg.rcut, small_cfg.nmax)
+            for pos in frames
+        ]
+        via_tables = frames_to_batch(
+            frames, cu_dataset.species, cu_dataset.cell, small_cfg, tables=tables
+        )
+        rebuilt = frames_to_batch(frames, cu_dataset.species, cu_dataset.cell, small_cfg)
+        assert np.array_equal(via_tables.idx_flat, rebuilt.idx_flat)
+        assert np.array_equal(via_tables.mask, rebuilt.mask)
+
+    def test_rejects_bad_shape(self, cu_dataset, small_cfg):
+        with pytest.raises(ValueError):
+            frames_to_batch(
+                cu_dataset.positions[0], cu_dataset.species, cu_dataset.cell, small_cfg
+            )
+
+
+class TestFingerprint:
+    def test_deterministic_and_sensitive(self, cu_dataset, small_cfg):
+        pos = cu_dataset.positions[0]
+        fp = frame_fingerprint(pos, cu_dataset.cell, small_cfg.rcut, small_cfg.nmax)
+        assert fp == frame_fingerprint(
+            pos, cu_dataset.cell, small_cfg.rcut, small_cfg.nmax
+        )
+        moved = pos.copy()
+        moved[0, 0] += 1e-9
+        assert fp != frame_fingerprint(
+            moved, cu_dataset.cell, small_cfg.rcut, small_cfg.nmax
+        )
+        assert fp != frame_fingerprint(
+            pos, cu_dataset.cell, small_cfg.rcut * 1.01, small_cfg.nmax
+        )
+
+
+class TestModelSession:
+    def test_single_vs_batched_bit_identical(self, session, cu_dataset):
+        """predict() must equal the matching row of predict_many()."""
+        frames = cu_dataset.positions[:4]
+        many = session.predict_many(frames, cu_dataset.species, cu_dataset.cell)
+        for t, pos in enumerate(frames):
+            one = session.predict(pos, cu_dataset.species, cu_dataset.cell)
+            assert one.energy == many[t].energy
+            assert np.array_equal(one.forces, many[t].forces)
+
+    def test_prediction_fields(self, session, cu_dataset):
+        pred = session.predict(
+            cu_dataset.positions[0], cu_dataset.species, cu_dataset.cell
+        )
+        assert isinstance(pred, Prediction)
+        assert isinstance(pred.energy, float)
+        assert pred.forces.shape == cu_dataset.positions[0].shape
+        assert pred.model_version == 0
+        assert pred.energy_std is None and pred.max_force_dev is None
+        assert not pred.cached
+
+    def test_swap_bumps_version_and_changes_output(
+        self, session, cu_dataset, small_cfg
+    ):
+        pos, sp, cell = cu_dataset.positions[0], cu_dataset.species, cu_dataset.cell
+        before = session.predict(pos, sp, cell)
+        other = DeePMD.for_dataset(cu_dataset, small_cfg, seed=99)
+        assert session.swap(other.state_dict()) == 1
+        after = session.predict(pos, sp, cell)
+        assert after.model_version == 1
+        assert after.energy != before.energy
+        assert session.swap(other.state_dict()) == 2  # monotonic
+
+
+class TestEnsembleSession:
+    def test_protocol_predict_carries_uncertainty(self, cu_dataset, small_cfg):
+        ens = ModelEnsemble.for_dataset(cu_dataset, small_cfg, n_models=2, seed=1)
+        pred = ens.predict(
+            cu_dataset.positions[0], cu_dataset.species, cu_dataset.cell
+        )
+        assert isinstance(pred, Prediction)
+        assert pred.energy_std is not None and pred.energy_std >= 0
+        assert pred.max_force_dev is not None and pred.max_force_dev > 0
+
+    def test_protocol_matches_legacy_batch_path(self, cu_dataset, small_cfg):
+        ens = ModelEnsemble.for_dataset(cu_dataset, small_cfg, n_models=2, seed=1)
+        frames = cu_dataset.positions[:3]
+        preds = ens.predict_many(frames, cu_dataset.species, cu_dataset.cell)
+        batch = frames_to_batch(frames, cu_dataset.species, cu_dataset.cell, small_cfg)
+        legacy = ens.predict(batch)
+        for t, p in enumerate(preds):
+            assert p.energy == float(legacy.energy[t])
+            assert np.array_equal(p.forces, legacy.forces[t])
+            assert p.max_force_dev == float(legacy.max_force_dev[t])
+
+    def test_positions_without_species_rejected(self, cu_dataset, small_cfg):
+        ens = ModelEnsemble.for_dataset(cu_dataset, small_cfg, n_models=2, seed=1)
+        with pytest.raises(TypeError):
+            ens.predict(cu_dataset.positions[0])
+
+    def test_swap_payload_shape_checked(self, cu_dataset, small_cfg):
+        ens = ModelEnsemble.for_dataset(cu_dataset, small_cfg, n_models=2, seed=1)
+        with pytest.raises(ValueError):
+            ens.swap([ens.models[0].state_dict()])
+        assert ens.swap(ens.state_dicts()) == 1
+
+
+class TestCalculatorSession:
+    def test_implements_protocol(self, cu_model, cu_dataset):
+        calc = DeePMDCalculator(cu_model, cu_dataset.species)
+        assert isinstance(calc, InferenceSession)
+        pred = calc.predict(
+            cu_dataset.positions[0], cu_dataset.species, cu_dataset.cell
+        )
+        e, f = calc.energy_forces(cu_dataset.positions[0], cu_dataset.cell)
+        assert pred.energy == e
+        assert np.array_equal(pred.forces, f)
+
+    def test_pinned_species_enforced(self, cu_model, cu_dataset):
+        calc = DeePMDCalculator(cu_model, cu_dataset.species)
+        wrong = np.zeros(len(cu_dataset.species) + 1, dtype=np.int64)
+        with pytest.raises(ValueError):
+            calc.predict(cu_dataset.positions[0], wrong, cu_dataset.cell)
+
+    def test_swap_changes_md_forces(self, cu_model, cu_dataset, small_cfg):
+        calc = DeePMDCalculator(cu_model, cu_dataset.species)
+        _, f_before = calc.energy_forces(cu_dataset.positions[0], cu_dataset.cell)
+        other = DeePMD.for_dataset(cu_dataset, small_cfg, seed=7)
+        assert calc.swap(other.state_dict()) == 1
+        assert calc.model_version == 1
+        _, f_after = calc.energy_forces(cu_dataset.positions[0], cu_dataset.cell)
+        assert not np.array_equal(f_before, f_after)

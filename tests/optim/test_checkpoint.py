@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.model import DeePMD, make_batch
-from repro.optim import FEKF, KalmanConfig, load_checkpoint, save_checkpoint
+from repro.optim import FEKF, KalmanConfig, load_state, save_state
 
 
 def _opt(model, fused=True):
@@ -16,9 +16,9 @@ def _opt(model, fused=True):
 class TestCheckpoint:
     def test_model_only_roundtrip(self, cu_model, cu_batch, cu_dataset, small_cfg, tmp_path):
         path = str(tmp_path / "m.npz")
-        save_checkpoint(path, cu_model)
+        save_state(path, cu_model)
         other = DeePMD.for_dataset(cu_dataset, small_cfg, seed=77)
-        load_checkpoint(path, other)
+        load_state(path, other)
         assert np.allclose(
             other.predict_energy(cu_batch), cu_model.predict_energy(cu_batch)
         )
@@ -27,10 +27,10 @@ class TestCheckpoint:
         self, cu_model, cu_dataset, small_cfg, tmp_path
     ):
         path = str(tmp_path / "m.npz")
-        save_checkpoint(path, cu_model)
+        save_state(path, cu_model)
         other = DeePMD.for_dataset(cu_dataset, small_cfg, seed=3)
         with pytest.raises(KeyError):
-            load_checkpoint(path, other, _opt(other))
+            load_state(path, other, _opt(other))
 
     @pytest.mark.parametrize("fused", [True, False])
     def test_resume_continues_identical_trajectory(
@@ -44,11 +44,11 @@ class TestCheckpoint:
         for _ in range(2):
             o1.step_batch(batch)
         path = str(tmp_path / "ck.npz")
-        save_checkpoint(path, m1, o1)
+        save_state(path, m1, o1)
 
         m2 = DeePMD.for_dataset(cu_dataset, small_cfg, seed=55)
         o2 = _opt(m2, fused)
-        load_checkpoint(path, m2, o2)
+        load_state(path, m2, o2)
         # the force-group shuffling rng must be re-synced for bitwise
         # continuation; re-seed both to the same stream state
         o2._rng = np.random.default_rng(123)
@@ -63,10 +63,10 @@ class TestCheckpoint:
         model = DeePMD.for_dataset(cu_dataset, small_cfg, seed=1)
         opt = _opt(model, fused=True)
         path = str(tmp_path / "ck.npz")
-        save_checkpoint(path, model, opt)
+        save_state(path, model, opt)
         other = DeePMD.for_dataset(cu_dataset, small_cfg, seed=1)
         with pytest.raises(ValueError):
-            load_checkpoint(path, other, _opt(other, fused=False))
+            load_state(path, other, _opt(other, fused=False))
 
     def test_lambda_and_update_count_restored(self, cu_dataset, small_cfg, cu_batch, tmp_path):
         model = DeePMD.for_dataset(cu_dataset, small_cfg, seed=1)
@@ -74,10 +74,10 @@ class TestCheckpoint:
         for _ in range(3):
             opt.step_batch(cu_batch)
         path = str(tmp_path / "ck.npz")
-        save_checkpoint(path, model, opt)
+        save_state(path, model, opt)
         m2 = DeePMD.for_dataset(cu_dataset, small_cfg, seed=2)
         o2 = _opt(m2)
-        load_checkpoint(path, m2, o2)
+        load_state(path, m2, o2)
         assert o2.kalman.lam == pytest.approx(opt.kalman.lam)
         assert o2.kalman.updates == opt.kalman.updates
 
@@ -114,7 +114,7 @@ class TestLegacyLayout:
         m2 = DeePMD.for_dataset(cu_dataset, small_cfg, seed=42)
         o2 = _opt(m2)
         step_count_before = o2.step_count
-        load_checkpoint(path, m2, o2)
+        load_state(path, m2, o2)
         assert np.allclose(m2.params.flatten(), model.params.flatten())
         assert o2.kalman.lam == pytest.approx(opt.kalman.lam)
         assert o2.kalman.updates == opt.kalman.updates
@@ -131,7 +131,7 @@ class TestLegacyLayout:
         with np.load(path) as z:
             assert "kalman/step_count" not in z.files
             assert "kalman/rng" not in z.files
-        load_checkpoint(path, model, opt)
+        load_state(path, model, opt)
 
     def test_model_prefixed_optimizer_key_rejected(self, cu_model, tmp_path):
         """An optimizer whose state keys spill into the model/ namespace
@@ -142,4 +142,23 @@ class TestLegacyLayout:
                 return {"model/fit_out_b": np.zeros(1)}
 
         with pytest.raises(ValueError, match="collide"):
-            save_checkpoint(str(tmp_path / "x.npz"), cu_model, EvilOpt())
+            save_state(str(tmp_path / "x.npz"), cu_model, EvilOpt())
+
+
+class TestDeprecatedAliases:
+    """The pre-protocol names still work for one release, loudly."""
+
+    def test_save_checkpoint_warns_and_delegates(
+        self, cu_model, cu_batch, cu_dataset, small_cfg, tmp_path
+    ):
+        from repro.optim import load_checkpoint, save_checkpoint
+
+        path = str(tmp_path / "m.npz")
+        with pytest.warns(DeprecationWarning, match="save_state"):
+            save_checkpoint(path, cu_model)
+        other = DeePMD.for_dataset(cu_dataset, small_cfg, seed=77)
+        with pytest.warns(DeprecationWarning, match="load_state"):
+            load_checkpoint(path, other)
+        assert np.allclose(
+            other.predict_energy(cu_batch), cu_model.predict_energy(cu_batch)
+        )

@@ -1,0 +1,54 @@
+"""LRU cache primitive used by the serve layer."""
+
+import pytest
+
+from repro.serve import LRUCache
+
+
+class TestLRUCache:
+    def test_put_get_roundtrip(self):
+        c = LRUCache(4)
+        c.put("a", 1)
+        assert c.get("a") == 1
+        assert c.get("b") is None
+        assert c.hits == 1 and c.misses == 1
+
+    def test_eviction_is_least_recently_used(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.get("a")  # refresh a; b is now LRU
+        c.put("c", 3)
+        assert "b" not in c and "a" in c and "c" in c
+        assert c.evictions == 1
+
+    def test_overwrite_refreshes(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("a", 10)  # refresh + overwrite
+        c.put("c", 3)
+        assert c.get("a") == 10
+        assert "b" not in c
+
+    def test_clear_keeps_lifetime_stats(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.get("a")
+        c.clear()
+        assert len(c) == 0
+        assert c.hits == 1
+        assert c.get("a") is None  # miss after clear
+        assert c.stats()["misses"] == 1
+
+    def test_hit_rate(self):
+        c = LRUCache(2)
+        assert c.hit_rate == 0.0
+        c.put("a", 1)
+        c.get("a")
+        c.get("x")
+        assert c.hit_rate == pytest.approx(0.5)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)

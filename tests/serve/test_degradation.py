@@ -1,0 +1,198 @@
+"""Graceful degradation: backpressure, timeouts, crashes, shutdown."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.model import ModelSession
+from repro.model.session import InferenceSession
+from repro.optim import FaultInjector
+from repro.serve import (
+    InferenceService,
+    ServeConfig,
+    ServeOverloaded,
+    ServeTimeout,
+    ServiceStopped,
+)
+
+
+class GatedSession(InferenceSession):
+    """Blocks every forward until ``gate`` is set.  Exposes no ``model``
+    attribute, so the service runs it through the serial fallback path --
+    which makes the batcher deterministically controllable from a test."""
+
+    def __init__(self, inner, gate):
+        self._inner = inner
+        self.gate = gate
+
+    @property
+    def cfg(self):
+        return self._inner.cfg
+
+    def predict_descriptor_batch(self, batch):
+        assert self.gate.wait(timeout=30.0), "test gate never opened"
+        return self._inner.predict_descriptor_batch(batch)
+
+    def _load_state(self, state):
+        self._inner._load_state(state)
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+@pytest.fixture()
+def system(cu_dataset):
+    return cu_dataset.positions, cu_dataset.species, cu_dataset.cell
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_with_overloaded(self, cu_model, system):
+        frames, species, cell = system
+        gate = threading.Event()
+        cfg = ServeConfig(max_batch=1, max_delay_s=0.0, max_queue=2)
+        svc = InferenceService(GatedSession(ModelSession(cu_model), gate), cfg)
+        with svc:
+            background = []
+            for k in range(3):  # 1 occupies the batcher, 2 fill the queue
+                t = threading.Thread(
+                    target=lambda i=k: svc.predict(frames[i], species, cell)
+                )
+                t.start()
+                background.append(t)
+            assert _wait_until(
+                lambda: svc.stats()["queue_depth"] >= cfg.max_queue
+            ), "queue never filled"
+            with pytest.raises(ServeOverloaded):
+                svc.predict(frames[3], species, cell)
+            assert svc.stats()["rejected"] == 1
+            gate.set()
+            for t in background:
+                t.join()
+            assert svc.stats()["responses"] == 3
+
+
+class TestTimeout:
+    def test_request_expires_while_batcher_busy(self, cu_model, system):
+        frames, species, cell = system
+        gate = threading.Event()
+        cfg = ServeConfig(max_batch=1, max_delay_s=0.0, request_timeout_s=0.2)
+        svc = InferenceService(GatedSession(ModelSession(cu_model), gate), cfg)
+        with svc:
+            with pytest.raises(ServeTimeout):
+                svc.predict(frames[0], species, cell)
+            assert svc.stats()["timeouts"] == 1
+            gate.set()  # let the in-flight batch finish; its requester is
+            # gone, which must not crash the batcher
+            pred = svc.predict(frames[1], species, cell, timeout=10.0)
+        assert pred.energy == ModelSession(cu_model).predict(
+            frames[1], species, cell
+        ).energy
+
+    def test_per_call_timeout_overrides_config(self, cu_model, system):
+        frames, species, cell = system
+        gate = threading.Event()
+        cfg = ServeConfig(max_batch=1, max_delay_s=0.0, request_timeout_s=60.0)
+        svc = InferenceService(GatedSession(ModelSession(cu_model), gate), cfg)
+        with svc:
+            t0 = time.perf_counter()
+            with pytest.raises(ServeTimeout):
+                svc.predict(frames[0], species, cell, timeout=0.1)
+            assert time.perf_counter() - t0 < 10.0
+            gate.set()
+
+
+class TestWorkerCrash:
+    def test_crashed_pool_falls_back_serially(self, cu_model, system):
+        """A rank failing its task twice must not lose the batch: the
+        service heals the pool and computes the batch locally (mirroring
+        the data-parallel trainer's retry-then-serial semantics)."""
+        frames, species, cell = system
+        direct = ModelSession(cu_model).predict(frames[0], species, cell)
+        cfg = ServeConfig(
+            executor="serial", world_size=1,
+            cache_predictions=False, cache_neighbors=False,
+        )
+        with InferenceService(ModelSession(cu_model), cfg) as svc:
+            svc._executor.broadcast(
+                "set_fault", FaultInjector("predict_task", times=2)
+            )
+            crashed = svc.predict(frames[0], species, cell)
+            healed = svc.predict(frames[0], species, cell)
+            stats = svc.stats()
+        assert stats["fallbacks"] == 1
+        assert crashed.energy == direct.energy  # fallback, bit-identical
+        assert np.array_equal(crashed.forces, direct.forces)
+        assert healed.energy == direct.energy  # pool healed and serving
+        assert stats["responses"] == 2
+
+    def test_single_fault_absorbed_by_retry(self, cu_model, system):
+        """One injected failure is absorbed by the executor's retry --
+        no fallback, no error at the client."""
+        frames, species, cell = system
+        cfg = ServeConfig(executor="serial", world_size=1, cache_predictions=False)
+        with InferenceService(ModelSession(cu_model), cfg) as svc:
+            svc._executor.broadcast(
+                "set_fault", FaultInjector("predict_task", times=1)
+            )
+            pred = svc.predict(frames[0], species, cell)
+            stats = svc.stats()
+        assert stats["fallbacks"] == 0
+        assert pred.energy == ModelSession(cu_model).predict(
+            frames[0], species, cell
+        ).energy
+
+
+class TestShutdown:
+    def test_predict_after_stop_raises(self, cu_model, system):
+        frames, species, cell = system
+        svc = InferenceService(ModelSession(cu_model), ServeConfig())
+        svc.start()
+        svc.stop()
+        with pytest.raises(ServiceStopped):
+            svc.predict(frames[0], species, cell)
+
+    def test_stop_without_drain_fails_queued_requests(self, cu_model, system):
+        frames, species, cell = system
+        gate = threading.Event()
+        cfg = ServeConfig(max_batch=1, max_delay_s=0.0, max_queue=8)
+        svc = InferenceService(GatedSession(ModelSession(cu_model), gate), cfg)
+        svc.start()
+        outcomes: list = []
+
+        def client(i):
+            try:
+                outcomes.append(("ok", svc.predict(frames[i], species, cell)))
+            except ServiceStopped:
+                outcomes.append(("stopped", None))
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(3)]
+        for t in threads:
+            t.start()
+        assert _wait_until(lambda: svc.stats()["requests"] == 3)
+        stopper = threading.Thread(target=lambda: svc.stop(drain=False))
+        stopper.start()
+        gate.set()  # release the in-flight batch so the batcher can exit
+        stopper.join()
+        for t in threads:
+            t.join()
+        kinds = sorted(k for k, _ in outcomes)
+        # the in-flight request completes; the queued ones are failed fast
+        assert len(outcomes) == 3
+        assert "stopped" in kinds
+
+    def test_drain_completes_queued_requests(self, cu_model, system):
+        frames, species, cell = system
+        cfg = ServeConfig(max_batch=4, max_delay_s=0.05)
+        svc = InferenceService(ModelSession(cu_model), cfg)
+        svc.start()
+        preds = svc.predict_many(frames[:3], species, cell)
+        svc.stop(drain=True)
+        assert len(preds) == 3

@@ -1,0 +1,149 @@
+"""InferenceService basics: bit-identity, micro-batching, caching."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.model import ModelEnsemble, ModelSession
+from repro.serve import InferenceService, ServeConfig
+
+pytestmark = pytest.mark.usefixtures("cu_dataset")
+
+
+@pytest.fixture()
+def system(cu_dataset):
+    return cu_dataset.positions, cu_dataset.species, cu_dataset.cell
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    @pytest.mark.parametrize("world_size", [1, 2])
+    def test_served_equals_direct(self, cu_model, system, backend, world_size):
+        """The batched, sharded server must return bit-identical energies
+        and forces to a direct predict_many on the wrapped session."""
+        frames, species, cell = system
+        direct = ModelSession(cu_model).predict_many(frames[:5], species, cell)
+        cfg = ServeConfig(
+            max_batch=3, executor=backend, world_size=world_size,
+            cache_predictions=False,
+        )
+        with InferenceService(ModelSession(cu_model), cfg) as svc:
+            served = svc.predict_many(frames[:5], species, cell)
+        for d, s in zip(direct, served):
+            assert d.energy == s.energy
+            assert np.array_equal(d.forces, s.forces)
+
+    def test_single_predict_equals_many(self, cu_model, system):
+        frames, species, cell = system
+        with InferenceService(ModelSession(cu_model), ServeConfig()) as svc:
+            one = svc.predict(frames[0], species, cell)
+            many = svc.predict_many(frames[:1], species, cell)
+        assert one.energy == many[0].energy
+        assert np.array_equal(one.forces, many[0].forces)
+
+    def test_ensemble_uncertainty_served(self, cu_dataset, small_cfg, system):
+        frames, species, cell = system
+        ens = ModelEnsemble.for_dataset(cu_dataset, small_cfg, n_models=2, seed=1)
+        direct = ens.predict_many(frames[:3], species, cell)
+        with InferenceService(ens, ServeConfig(max_batch=3)) as svc:
+            served = svc.predict_many(frames[:3], species, cell)
+        for d, s in zip(direct, served):
+            assert d.energy == s.energy
+            assert d.energy_std == s.energy_std
+            assert d.max_force_dev == s.max_force_dev
+
+
+class TestMicroBatching:
+    def test_concurrent_clients_share_batches(self, cu_model, system):
+        """Eight concurrent clients with a generous deadline must produce
+        fewer forward batches than requests (i.e. real co-batching)."""
+        frames, species, cell = system
+        cfg = ServeConfig(max_batch=8, max_delay_s=0.1, cache_predictions=False)
+        results = {}
+        with InferenceService(ModelSession(cu_model), cfg) as svc:
+            barrier = threading.Barrier(8)
+
+            def client(k):
+                barrier.wait()
+                results[k] = svc.predict(frames[k % len(frames)], species, cell)
+
+            threads = [threading.Thread(target=client, args=(k,)) for k in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = svc.stats()
+        assert len(results) == 8
+        assert stats["responses"] == 8
+        assert stats["batches"] < 8
+        assert stats["batch_occupancy"]["max"] > 1
+
+    def test_incompatible_frames_batched_separately(
+        self, cu_model, cu_dataset, nacl_dataset
+    ):
+        """Requests for different systems must never co-batch; both still
+        get answered (the NaCl model here is the Cu model -- only shapes
+        matter for grouping)."""
+        cfg = ServeConfig(max_batch=4, max_delay_s=0.05)
+        with InferenceService(ModelSession(cu_model), cfg) as svc:
+            cu = svc.predict(
+                cu_dataset.positions[0], cu_dataset.species, cu_dataset.cell
+            )
+            direct = ModelSession(cu_model).predict(
+                cu_dataset.positions[0], cu_dataset.species, cu_dataset.cell
+            )
+            assert cu.energy == direct.energy
+
+
+class TestCaching:
+    def test_repeat_frame_served_from_cache(self, cu_model, system):
+        frames, species, cell = system
+        with InferenceService(ModelSession(cu_model), ServeConfig()) as svc:
+            first = svc.predict(frames[0], species, cell)
+            second = svc.predict(frames[0], species, cell)
+            stats = svc.stats()
+        assert not first.cached
+        assert second.cached
+        assert second.energy == first.energy
+        assert np.array_equal(second.forces, first.forces)
+        assert stats["cache_hits"] == 1
+        assert stats["batches"] == 1  # no second forward pass
+
+    def test_neighbor_cache_hits_across_duplicate_frames(self, cu_model, system):
+        frames, species, cell = system
+        cfg = ServeConfig(cache_predictions=False, max_batch=1)
+        with InferenceService(ModelSession(cu_model), cfg) as svc:
+            svc.predict(frames[0], species, cell)
+            svc.predict(frames[0], species, cell)
+            stats = svc.stats()
+        assert stats["neighbor_cache"]["hits"] == 1
+        assert stats["batches"] == 2  # prediction cache off: both computed
+
+    def test_caches_disabled(self, cu_model, system):
+        frames, species, cell = system
+        cfg = ServeConfig(cache_predictions=False, cache_neighbors=False)
+        with InferenceService(ModelSession(cu_model), cfg) as svc:
+            a = svc.predict(frames[0], species, cell)
+            b = svc.predict(frames[0], species, cell)
+            stats = svc.stats()
+        assert not a.cached and not b.cached
+        assert a.energy == b.energy
+        assert stats["neighbor_cache"]["hits"] == 0
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch": 0},
+            {"max_delay_s": -1.0},
+            {"max_queue": 0},
+            {"request_timeout_s": 0.0},
+            {"world_size": 0},
+            {"cache_capacity": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServeConfig(**kwargs)

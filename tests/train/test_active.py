@@ -94,6 +94,36 @@ class TestActiveLearner:
         assert [s.round_index for s in learner.history] == [1, 2]
         assert learner.history[1].temperature == 600.0
 
+    def test_select_scoring_bit_identical_to_batch_path(
+        self, ensemble, cu_dataset, small_cfg
+    ):
+        """The protocol-based _select must score candidates bit-identically
+        to the retired hand-built DescriptorBatch path (regression guard
+        for the InferenceSession rewrite)."""
+        from repro.model import frames_to_batch
+
+        frames = cu_dataset.positions[:4]
+        preds = ensemble.predict_many(frames, cu_dataset.species, cu_dataset.cell)
+        batch = frames_to_batch(
+            frames, cu_dataset.species, cu_dataset.cell, small_cfg
+        )
+        devs = ensemble.max_force_deviation(batch)
+        assert [p.max_force_dev for p in preds] == [float(d) for d in devs]
+
+    def test_served_scorer_matches_committee(self, ensemble, cu_dataset):
+        """An InferenceService wrapping the same ensemble is a drop-in
+        scorer: selection signals are bit-identical to the direct path."""
+        from repro.serve import InferenceService, ServeConfig
+
+        frames = cu_dataset.positions[:4]
+        direct = ensemble.predict_many(frames, cu_dataset.species, cu_dataset.cell)
+        with InferenceService(ensemble, ServeConfig(max_batch=4)) as svc:
+            served = svc.predict_many(frames, cu_dataset.species, cu_dataset.cell)
+        for d, s in zip(direct, served):
+            assert d.energy == s.energy
+            assert d.max_force_dev == s.max_force_dev
+            assert np.array_equal(d.forces, s.forces)
+
     def test_selection_band_filters(self, cu_dataset, small_cfg):
         ens = ModelEnsemble.for_dataset(cu_dataset, small_cfg, n_models=2, seed=1)
         spec = SYSTEMS["Cu"]
