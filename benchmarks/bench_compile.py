@@ -1,0 +1,56 @@
+"""Compiled-step gate: >=2x on the hot phases, bit-identical, free when off.
+
+Three promises the tape compiler (``repro.autograd.compile``) makes on
+the FEKF training path, enforced in CI:
+
+* replaying compiled plans is at least **2x faster** on the combined
+  ``kf_update`` + ``forward_force`` hot phases (the step's dominant
+  phases under fresh force graphs -- the paper's Opt2/Opt3 territory);
+* the compiled trajectory is **bit-identical** to eager -- same loss
+  history, same final weights (``measure`` raises otherwise);
+* with compilation off, the engine hooks on the gradient path cost
+  **under 5%** -- a debugging-style "not a tax" budget, like the
+  sanitizer's.
+
+Full per-phase tables and the ``BENCH_compile.json`` manifest come from
+``python -m repro.harness compile``; this file is the fast CI gate over
+the same measurement core.
+"""
+
+import pytest
+
+from repro.harness.compile_bench import bench_config, disabled_overhead, measure
+
+
+@pytest.fixture(scope="module")
+def result(cu_data):
+    return measure(dataset=cu_data, cfg=bench_config())
+
+
+def test_hot_phase_speedup_at_least_2x(result):
+    assert result["hot_speedup"] >= 2.0, (
+        f"compiled hot phases (kf_update+forward_force) only "
+        f"{result['hot_speedup']:.2f}x faster "
+        f"({result['hot_eager_s']*1e3:.1f}ms -> "
+        f"{result['hot_compiled_s']*1e3:.1f}ms); the 2x gate failed"
+    )
+
+
+def test_trajectories_bit_identical(result):
+    # measure() asserts bitwise equality of loss history and weights
+    # across every eager/compiled repeat and raises on divergence
+    assert result["bit_identical"]
+
+
+def test_plans_replayed_without_fallbacks(result):
+    st = result["plan_stats"]
+    assert st["enabled"]
+    assert st["replays"] > 0
+    assert st["fallbacks"] == 0
+
+
+def test_compile_off_overhead_under_5_percent(cu_data):
+    overhead = disabled_overhead(dataset=cu_data, cfg=bench_config())
+    assert overhead < 0.05, (
+        f"disabled-engine hook overhead {overhead:.1%} exceeds the 5% budget"
+    )

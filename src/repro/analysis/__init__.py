@@ -26,8 +26,9 @@ Quick start::
     python -m repro.analysis determinism          # 3-backend audit
     python -m repro.analysis graph path/to/fixture.py
 
-    from repro.analysis import record_tape, GraphLinter, Sanitizer
-    with record_tape() as tape:
+    from repro.analysis import GraphLinter
+    from repro.autograd import capture
+    with capture("tape") as tape:
         loss = model(batch)
     print(GraphLinter(tape).lint(roots=[loss]).render())
 """

@@ -12,10 +12,11 @@ import json
 import sys
 from pathlib import Path
 
+from ..autograd.capture import capture
 from .astlint import lint_paths
 from .determinism import DEFAULT_BACKENDS, audit_determinism
 from .findings import Report
-from .graphlint import GraphLinter, Sanitizer, record_tape
+from .graphlint import GraphLinter
 
 
 def _emit(report: Report, as_json: bool, verbose: bool = False) -> int:
@@ -53,10 +54,10 @@ def cmd_graph(args) -> int:
     except Exception as exc:
         print(f"{path}: error: cannot load graph fixture: {exc}", file=sys.stderr)
         return 2
-    sanitizer = Sanitizer(mode="collect") if args.sanitize else None
-    with record_tape() as tape:
-        if sanitizer is not None:
-            with sanitizer:
+    sanitizer = None
+    with capture("tape") as tape:
+        if args.sanitize:
+            with capture("sanitize", mode="collect") as sanitizer:
                 roots = mod.build()
         else:
             roots = mod.build()
@@ -86,6 +87,7 @@ def cmd_determinism(args) -> int:
         steps=args.steps,
         backends=backends,
         seed=args.seed,
+        compiled=args.compiled,
     )
     if args.manifest_dir:
         from ..harness.manifest import write_manifest
@@ -99,6 +101,7 @@ def cmd_determinism(args) -> int:
                 "steps": args.steps,
                 "backends": list(backends),
                 "seed": args.seed,
+                "compiled": args.compiled,
             },
             metrics={**report.metrics, "ok": report.ok,
                      "findings": len(report.findings)},
@@ -139,6 +142,9 @@ def main(argv: "list[str] | None" = None) -> int:
     p_det.add_argument("--steps", type=int, default=20)
     p_det.add_argument("--backends", default=",".join(DEFAULT_BACKENDS))
     p_det.add_argument("--seed", type=int, default=7)
+    p_det.add_argument("--compiled", action="store_true",
+                       help="train through the tape-compiled replay engine "
+                            "(certifies fused plans keep bit-identity)")
     p_det.add_argument("--manifest-dir", default=None,
                        help="write BENCH_determinism_audit.json here")
     p_det.add_argument("--json", action="store_true")

@@ -5,34 +5,37 @@ and easy to break silently from model code: every graph buffer stays
 float64, backward closures return gradients shaped like their parents,
 op outputs never alias operand buffers (except declared view ops), and
 recorded buffers are not mutated behind autograd's back.  The linter
-records a *tape* of every tensor an op produces -- via the same sink
-stack that feeds the kernel counters and the profiler -- and then checks
-those invariants over the whole tape at once::
+checks those invariants over a whole recorded tape at once::
 
-    with record_tape() as tape:
+    with autograd.capture("tape") as tape:
         loss = model(batch)
     report = GraphLinter(tape).lint(roots=[loss])
     sys.exit(report.exit_code)
 
-A dynamic companion, :class:`Sanitizer`, installs a NaN/Inf guard on the
-same sink hook: every op output is checked for non-finite values as it is
-built, and a hit is attributed to the op name *and* the innermost open
-telemetry span, so a NaN that appears mid-training points at the phase
-that produced it rather than the loss printout ten kernels later.
+The tape/sanitizer sinks themselves now live in
+:mod:`repro.autograd.capture` (one unified entry point for every
+op-stream observer); this module re-exports them and keeps a deprecated
+``record_tape`` shim for one release.
 """
 
 from __future__ import annotations
 
-import zlib
+import warnings
 from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
+from ..autograd.capture import (  # noqa: F401  (re-exported surface)
+    Sanitizer,
+    SanitizerError,
+    TapeEntry,
+    TapeRecorder,
+    capture,
+)
 from ..autograd.config import no_grad
 from ..autograd.gradcheck import check_second_order
-from ..autograd.instrument import op_info, push_sink, remove_sink
+from ..autograd.instrument import op_info
 from ..autograd.tensor import GRAD_DTYPE, Tensor
-from ..telemetry.trace import current_span_name
 from .findings import Finding, Report
 
 __all__ = [
@@ -46,61 +49,14 @@ __all__ = [
 ]
 
 
-class TapeEntry:
-    """One op output captured on the tape.
-
-    Holds the live tensor (the tape pins the graph alive for the linter)
-    plus a CRC of the buffer at record time, so later mutation of the
-    recorded array -- autograd's cardinal sin -- is detectable.
-    """
-
-    __slots__ = ("tensor", "op", "seq", "crc")
-
-    def __init__(self, tensor: Tensor, seq: int):
-        self.tensor = tensor
-        self.op = tensor._op
-        self.seq = seq
-        self.crc = zlib.crc32(np.ascontiguousarray(tensor.data).tobytes())
-
-    def mutated(self) -> bool:
-        return zlib.crc32(np.ascontiguousarray(self.tensor.data).tobytes()) != self.crc
-
-
-class TapeRecorder:
-    """Launch sink that captures every op output tensor (and every raw
-    kernel-launch name) on the installing thread."""
-
-    def __init__(self):
-        self.entries: list[TapeEntry] = []
-        self.launch_names: list[str] = []
-
-    # sink protocol -----------------------------------------------------
-    def record(self, op_name: str, nbytes: int = 0, out_shape=None, in_shapes=None) -> None:
-        self.launch_names.append(op_name)
-
-    def record_tensor(self, tensor: Tensor) -> None:
-        self.entries.append(TapeEntry(tensor, len(self.entries)))
-
-    def __len__(self) -> int:
-        return len(self.entries)
-
-
-class record_tape:
-    """Context manager recording an op tape on the calling thread::
-
-        with record_tape() as tape:
-            out = fn(...)
-    """
-
-    def __init__(self):
-        self.recorder = TapeRecorder()
-
-    def __enter__(self) -> TapeRecorder:
-        push_sink(self.recorder, wants_tensors=True)
-        return self.recorder
-
-    def __exit__(self, *exc) -> None:
-        remove_sink(self.recorder, wants_tensors=True)
+def record_tape() -> capture:
+    """Deprecated alias for ``autograd.capture("tape")`` (one release)."""
+    warnings.warn(
+        "record_tape() is deprecated; use repro.autograd.capture('tape')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return capture("tape")
 
 
 def _ancestors(roots: Iterable[Tensor]) -> set[int]:
@@ -285,85 +241,6 @@ class GraphLinter:
                             f"differentiating through its backward is not exact",
                     context={"op": e.op},
                 ))
-
-
-# ---------------------------------------------------------------------------
-# dynamic NaN/Inf sanitizer
-# ---------------------------------------------------------------------------
-class SanitizerError(FloatingPointError):
-    """Raised by :class:`Sanitizer` in ``raise`` mode at the first
-    non-finite op output."""
-
-
-class Sanitizer:
-    """NaN/Inf guard hooks on every op, with telemetry-span attribution.
-
-    Installs on the calling thread's launch-sink stack and checks every
-    op output for non-finite values as it is produced::
-
-        with Sanitizer() as san:          # mode="raise": first hit aborts
-            trainer.run(...)
-
-        with Sanitizer(mode="collect") as san:
-            trainer.run(...)
-        print(san.report().render())
-
-    Each hit records the op name, the count of non-finite elements, and
-    the innermost open telemetry span (e.g. ``fekf.backward``) so the
-    failure is attributed to a training phase, not discovered epochs
-    later in a loss printout.
-    """
-
-    def __init__(self, mode: str = "raise", max_findings: int = 100):
-        if mode not in ("raise", "collect"):
-            raise ValueError(f"unknown sanitizer mode {mode!r}")
-        self.mode = mode
-        self.max_findings = max_findings
-        self.findings: list[Finding] = []
-        self.ops_checked = 0
-
-    # sink protocol -----------------------------------------------------
-    def record(self, op_name: str, nbytes: int = 0, out_shape=None, in_shapes=None) -> None:
-        pass  # launches carry no buffer to check
-
-    def record_tensor(self, tensor: Tensor) -> None:
-        data = tensor.data
-        if data.dtype.kind != "f":
-            return
-        self.ops_checked += 1
-        if np.isfinite(data).all():
-            return
-        bad = int(np.size(data) - np.count_nonzero(np.isfinite(data)))
-        span = current_span_name()
-        where = f" in span {span!r}" if span else ""
-        finding = Finding(
-            rule="non-finite",
-            message=f"op {tensor._op!r} produced {bad} non-finite "
-                    f"value(s){where}",
-            context={"op": tensor._op, "span": span, "count": bad},
-        )
-        self.findings.append(finding)
-        if self.mode == "raise":
-            raise SanitizerError(finding.render())
-        if len(self.findings) >= self.max_findings:
-            raise SanitizerError(
-                f"sanitizer collected {len(self.findings)} non-finite ops; "
-                f"aborting (raise max_findings to keep going)"
-            )
-
-    # lifecycle ---------------------------------------------------------
-    def __enter__(self) -> "Sanitizer":
-        push_sink(self, wants_tensors=True)
-        return self
-
-    def __exit__(self, *exc) -> None:
-        remove_sink(self, wants_tensors=True)
-
-    def report(self) -> Report:
-        rep = Report(tool="sanitizer", checks_run=["non-finite"])
-        rep.findings.extend(self.findings)
-        rep.metrics["ops_checked"] = self.ops_checked
-        return rep
 
 
 # ---------------------------------------------------------------------------

@@ -4,6 +4,7 @@ Public surface::
 
     from repro.autograd import Tensor, grad, no_grad, fused_kernels
     from repro.autograd import ops            # primitive functional ops
+    from repro.autograd import capture        # unified op-stream observers
     from repro.autograd.fuse import linear_tanh, residual_linear_tanh
     from repro.autograd.instrument import KernelCounter
 """
@@ -19,10 +20,16 @@ from .instrument import (
     registered_ops,
 )
 from .tensor import GRAD_DTYPE, Tensor, as_tensor, grad, make_op
+from .capture import Sanitizer, SanitizerError, TapeEntry, TapeRecorder, capture
 from . import fuse, ops
 
 __all__ = [
     "Tensor",
+    "capture",
+    "TapeRecorder",
+    "TapeEntry",
+    "Sanitizer",
+    "SanitizerError",
     "as_tensor",
     "grad",
     "make_op",

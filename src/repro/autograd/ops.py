@@ -28,8 +28,8 @@ Scalar = Union[int, float]
 # against this table.
 for _name in (
     "add", "sub", "mul", "div", "neg", "pow", "exp", "log", "tanh",
-    "sqrt", "abs", "maximum", "where", "sum", "broadcast", "concat",
-    "scatter_add", "matmul",
+    "sqrt", "abs", "maximum", "minimum", "where", "sum", "broadcast",
+    "concat", "scatter_add", "matmul", "cmp_mask", "sign",
 ):
     register_op(_name)
 for _name in ("reshape", "transpose", "gather"):
@@ -122,7 +122,7 @@ def power(a: TensorLike, p: Scalar) -> Tensor:
     def backward(g: Tensor):
         return (mul(g, mul(power(a, p - 1.0), p)),)
 
-    return make_op(out, (a,), backward, "pow")
+    return make_op(out, (a,), backward, "pow", attrs={"p": p})
 
 
 def exp(a: TensorLike) -> Tensor:
@@ -168,14 +168,43 @@ def sqrt(a: TensorLike) -> Tensor:
     return out
 
 
+def sign_of(a: TensorLike) -> Tensor:
+    """sign(a) as a *recorded* zero-gradient op.
+
+    Recording the sign (rather than baking it into a closure constant)
+    keeps the backward of :func:`absolute` replayable by the tape
+    compiler: the mask is recomputed from the live operand on every
+    replay instead of being frozen at trace time.
+    """
+    a = as_tensor(a)
+    out = np.sign(a.data)
+
+    def backward(g: Tensor):
+        return (None,)
+
+    return make_op(out, (a,), backward, "sign")
+
+
+def _cmp_mask(a: Tensor, b: Tensor, mode: str) -> Tensor:
+    """Float {0,1} comparison mask as a recorded zero-gradient op
+    (``mode`` is ``"ge"`` or ``"le"``); see :func:`sign_of` for why the
+    mask is an op rather than a closure constant."""
+    arr = a.data >= b.data if mode == "ge" else a.data <= b.data
+    out = arr.astype(np.float64)
+
+    def backward(g: Tensor):
+        return None, None
+
+    return make_op(out, (a, b), backward, "cmp_mask", attrs={"cmp": mode})
+
+
 def absolute(a: TensorLike) -> Tensor:
     """|a|; the subgradient at 0 is taken as 0."""
     a = as_tensor(a)
-    sign = np.sign(a.data)
     out = np.abs(a.data)
 
     def backward(g: Tensor):
-        return (mul(g, Tensor(sign)),)
+        return (mul(g, sign_of(a)),)
 
     return make_op(out, (a,), backward, "abs")
 
@@ -183,30 +212,55 @@ def absolute(a: TensorLike) -> Tensor:
 def maximum(a: TensorLike, b: TensorLike) -> Tensor:
     """Elementwise max; ties send the full gradient to ``a``."""
     a, b = as_tensor(a), as_tensor(b)
-    mask = a.data >= b.data
-    out = np.where(mask, a.data, b.data)
+    out = np.where(a.data >= b.data, a.data, b.data)
 
     def backward(g: Tensor):
-        ga = unbroadcast(mul(g, Tensor(mask.astype(np.float64))), a.shape)
-        gb = unbroadcast(mul(g, Tensor((~mask).astype(np.float64))), b.shape)
+        m = _cmp_mask(a, b, "ge")
+        gm = mul(g, m)
+        # g - g*m == g*(1-m) bit-for-bit on a {0,1} mask, without baking
+        # a second mask constant into the closure
+        ga = unbroadcast(gm, a.shape)
+        gb = unbroadcast(sub(g, gm), b.shape)
         return ga, gb
 
     return make_op(out, (a, b), backward, "maximum")
 
 
+def minimum(a: TensorLike, b: TensorLike) -> Tensor:
+    """Elementwise min; ties send the full gradient to ``a``."""
+    a, b = as_tensor(a), as_tensor(b)
+    out = np.where(a.data <= b.data, a.data, b.data)
+
+    def backward(g: Tensor):
+        m = _cmp_mask(a, b, "le")
+        gm = mul(g, m)
+        ga = unbroadcast(gm, a.shape)
+        gb = unbroadcast(sub(g, gm), b.shape)
+        return ga, gb
+
+    return make_op(out, (a, b), backward, "minimum")
+
+
 def where(cond: np.ndarray, a: TensorLike, b: TensorLike) -> Tensor:
-    """Select ``a`` where the constant boolean mask holds, else ``b``."""
+    """Select ``a`` where the constant boolean mask holds, else ``b``.
+
+    The float mask rides as a third (zero-gradient) parent so the tape
+    compiler can rebind it per batch; the backward computes the ``b``
+    branch as ``g - g*mask`` (bit-equal to ``g*(1-mask)`` on a {0,1}
+    mask) to avoid baking a derived ``1-mask`` constant.
+    """
     a, b = as_tensor(a), as_tensor(b)
     cond = np.asarray(cond, dtype=bool)
     out = np.where(cond, a.data, b.data)
-    fmask = cond.astype(np.float64)
+    fmask_t = Tensor(cond.astype(np.float64))
 
     def backward(g: Tensor):
-        ga = unbroadcast(mul(g, Tensor(fmask)), a.shape)
-        gb = unbroadcast(mul(g, Tensor(1.0 - fmask)), b.shape)
-        return ga, gb
+        gm = mul(g, fmask_t)
+        ga = unbroadcast(gm, a.shape)
+        gb = unbroadcast(sub(g, gm), b.shape)
+        return ga, gb, None
 
-    return make_op(out, (a, b), backward, "where")
+    return make_op(out, (a, b, fmask_t), backward, "where", attrs={"cond": cond})
 
 
 # ---------------------------------------------------------------------------
@@ -235,7 +289,13 @@ def tsum(
             g = reshape(g, tuple(expand_shape))
         return (broadcast_to(g, in_shape),)
 
-    return make_op(np.asarray(out), (a,), backward, "sum")
+    # attrs keep the *original* axis argument: np.sum(axis=None) flattens
+    # and may pair-sum differently from an equivalent axis tuple, and the
+    # compiler must replay the exact reduction
+    return make_op(
+        np.asarray(out), (a,), backward, "sum",
+        attrs={"axis": axis, "keepdims": keepdims},
+    )
 
 
 def tmean(
@@ -261,7 +321,7 @@ def broadcast_to(a: TensorLike, shape: tuple[int, ...]) -> Tensor:
     def backward(g: Tensor):
         return (unbroadcast(g, a.shape),)
 
-    return make_op(out, (a,), backward, "broadcast")
+    return make_op(out, (a,), backward, "broadcast", attrs={"shape": tuple(shape)})
 
 
 # ---------------------------------------------------------------------------
@@ -277,7 +337,7 @@ def reshape(a: TensorLike, shape: Union[int, tuple[int, ...]]) -> Tensor:
     def backward(g: Tensor):
         return (reshape(g, in_shape),)
 
-    return make_op(out, (a,), backward, "reshape")
+    return make_op(out, (a,), backward, "reshape", attrs={"shape": tuple(shape)})
 
 
 def transpose(a: TensorLike, axes: Optional[Sequence[int]] = None) -> Tensor:
@@ -291,7 +351,7 @@ def transpose(a: TensorLike, axes: Optional[Sequence[int]] = None) -> Tensor:
     def backward(g: Tensor):
         return (transpose(g, inv),)
 
-    return make_op(out, (a,), backward, "transpose")
+    return make_op(out, (a,), backward, "transpose", attrs={"axes": axes})
 
 
 def swapaxes(a: TensorLike, ax1: int, ax2: int) -> Tensor:
@@ -315,7 +375,7 @@ def concat(tensors: Sequence[TensorLike], axis: int = 0) -> Tensor:
             grads.append(index(g, tuple(idx)))
         return tuple(grads)
 
-    return make_op(out, tuple(ts), backward, "concat")
+    return make_op(out, tuple(ts), backward, "concat", attrs={"axis": axis})
 
 
 # ---------------------------------------------------------------------------
@@ -337,7 +397,7 @@ def index(a: TensorLike, idx) -> Tensor:
     def backward(g: Tensor):
         return (index_add(in_shape, idx, g),)
 
-    return make_op(np.ascontiguousarray(out), (a,), backward, "gather")
+    return make_op(np.ascontiguousarray(out), (a,), backward, "gather", attrs={"idx": idx})
 
 
 def index_add(shape: tuple[int, ...], idx, values: TensorLike) -> Tensor:
@@ -349,7 +409,10 @@ def index_add(shape: tuple[int, ...], idx, values: TensorLike) -> Tensor:
     def backward(g: Tensor):
         return (index(g, idx),)
 
-    return make_op(out, (values,), backward, "scatter_add")
+    return make_op(
+        out, (values,), backward, "scatter_add",
+        attrs={"shape": tuple(shape), "idx": idx},
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -50,18 +50,22 @@ def smooth_graph(r: Tensor, rcs: float, rc: float, valid_mask: np.ndarray) -> Te
     forced to exactly zero so they contribute nothing to the descriptor
     regardless of the junk distances they carry.
     """
-    rdata = r.data
-    inner = (rdata < rcs) & valid_mask
-    mid = (rdata >= rcs) & (rdata < rc) & valid_mask
-    # guard the 1/r against padded/out-of-range slots before dividing
-    r_safe = ops.where(inner | mid, r, ops.ones_like(r))
+    # branch-free clip form: u = clip((r-rcs)/(rc-rcs), 0, 1) collapses the
+    # three regions into one expression -- p(0)=1 exactly (inner region
+    # reduces to inv*1 == inv bitwise) and p(1)=0 with dp(1)=0 exactly (the
+    # tail region and its gradient vanish).  Only the *static* padding mask
+    # remains data-dependent, so a recorded tape of this graph replays for
+    # any distances of the same shape (the value-dependent inner/mid masks
+    # of the old form froze at trace time).
+    # guard the 1/r against padded slots before dividing
+    r_safe = ops.where(valid_mask, r, ops.ones_like(r))
     inv = ops.div(1.0, r_safe)
-    u = ops.div(ops.sub(r_safe, rcs), rc - rcs)
+    u_raw = ops.div(ops.sub(r_safe, rcs), rc - rcs)
+    u = ops.minimum(ops.maximum(u_raw, 0.0), 1.0)
     u3 = ops.mul(ops.mul(u, u), u)
     p = ops.add(
         ops.mul(u3, ops.add(ops.mul(u, ops.sub(ops.mul(u, -6.0), -15.0)), -10.0)),
         1.0,
     )
-    s_mid = ops.mul(inv, p)
-    zero = ops.zeros_like(r)
-    return ops.where(inner, inv, ops.where(mid, s_mid, zero))
+    s = ops.mul(inv, p)
+    return ops.where(valid_mask, s, ops.zeros_like(r))

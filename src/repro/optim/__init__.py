@@ -16,7 +16,6 @@ from .base import (
     make_optimizer,
     save_state,
 )
-from .checkpoint import load_checkpoint, save_checkpoint  # deprecated aliases
 from .blocks import Block, block_shapes, p_memory_bytes, split_blocks, validate_blocks
 from .ekf import FEKF, NaiveEKF, RLEKF, UpdateStats
 from .first_order import SGD, Adam, ExponentialDecay, FirstOrderOptimizer, LossConfig
@@ -60,6 +59,4 @@ __all__ = [
     "LossConfig",
     "save_state",
     "load_state",
-    "save_checkpoint",
-    "load_checkpoint",
 ]

@@ -113,7 +113,10 @@ _LOSS_FIELDS = {f.name for f in dataclasses.fields(LossConfig)}
 _SCHEDULE_ALIASES = {"lr0": "lr0", "decay_rate": "rate", "decay_steps": "steps"}
 
 _EKF_CLASSES = {"fekf": FEKF, "rlekf": RLEKF, "naive_ekf": NaiveEKF}
-_EKF_CTOR_KEYS = {"n_force_splits", "fused_env", "reuse_force_graph", "step_scale", "seed"}
+_EKF_CTOR_KEYS = {
+    "n_force_splits", "fused_env", "reuse_force_graph", "step_scale",
+    "seed", "compiled",
+}
 _FIRST_ORDER_CLASSES = {"adam": Adam, "sgd": SGD}
 _FIRST_ORDER_CTOR_KEYS = {
     "adam": {"beta1", "beta2", "eps", "batch_scale_lr", "fused_env"},
@@ -242,7 +245,7 @@ def make_optimizer(name: str, model: DeePMD, **overrides) -> Optimizer:
             kalman_cfg = KalmanConfig(**kalman_overrides)
         ctor_keys = {
             "n_force_splits", "fused_env", "reuse_force_graph",
-            "verify_replicas", "cost_model", "seed", "executor",
+            "verify_replicas", "cost_model", "seed", "executor", "compiled",
         }
         ctor = {k: overrides.pop(k) for k in list(overrides) if k in ctor_keys}
         _reject_unknown(key, overrides)

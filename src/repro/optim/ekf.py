@@ -31,6 +31,7 @@ import numpy as np
 
 from ..model.environment import DescriptorBatch
 from ..model.network import DeePMD
+from ..autograd.config import config as _autograd_config
 from ..telemetry import metrics as _metrics
 from ..telemetry.trace import span as _span
 from .kalman import KalmanConfig, KalmanState
@@ -87,14 +88,19 @@ class FEKF:
         reuse_force_graph: bool = True,
         step_scale: float | None = None,
         seed: int = 0,
+        compiled: bool | None = None,
     ):
         self.model = model
         cfg = kalman_cfg or KalmanConfig()
         self.kalman = KalmanState(model.num_params, model.params.layer_sizes(), cfg)
         self.n_force_splits = int(n_force_splits)
+        #: tape-compiled step replay (repro.optim.compiled); None defers
+        #: to the global autograd config flag (env var REPRO_COMPILE)
+        if compiled is None:
+            compiled = _autograd_config.compiled
         #: the per-shard gradient math, shared (same model object) with the
         #: rank workers of the data-parallel trainer
-        self.worker = GradientWorker(model, fused_env=fused_env)
+        self.worker = GradientWorker(model, fused_env=fused_env, compiled=compiled)
         #: when True, the n_force_splits group updates share one force
         #: graph (H evaluated at the weights before the first group update)
         #: instead of a fresh forward per group -- a large CPU saving with
@@ -119,6 +125,27 @@ class FEKF:
     @fused_env.setter
     def fused_env(self, value: bool) -> None:
         self.worker.fused_env = value
+
+    @property
+    def compiled(self) -> bool:
+        """Whether steps replay through tape-compiled plans."""
+        return self.worker.compiled
+
+    def stats(self) -> dict:
+        """Optimizer-level diagnostics: filter state plus (when compiled)
+        the plan-cache telemetry -- compiles, replays, fallback counts,
+        per-plan fusion/arena numbers."""
+        out: dict = {
+            "step_count": self.step_count,
+            "lambda": self.kalman.lam,
+            "updates": self.kalman.updates,
+        }
+        if self.worker._engine is not None:
+            out["compiled"] = self.worker._engine.stats()
+        elif self.worker.compiled:
+            out["compiled"] = {"enabled": True, "traces": 0, "compiles": 0,
+                               "replays": 0, "fallbacks": 0}
+        return out
 
     def _energy_gradient(self, batch: DescriptorBatch) -> tuple[np.ndarray, float]:
         return self.worker.energy_gradient(batch)
@@ -168,6 +195,7 @@ class FEKF:
             "fused_env": self.fused_env,
             "reuse_force_graph": self.reuse_force_graph,
             "step_scale": self.step_scale,
+            "compiled": self.compiled,
         }
 
     def state_dict(self) -> dict[str, np.ndarray]:

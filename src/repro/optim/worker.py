@@ -33,6 +33,7 @@ executor's retry/fallback machinery is exercised without monkeypatching.
 
 from __future__ import annotations
 
+import contextlib
 import copy
 import os
 import time
@@ -42,6 +43,7 @@ from typing import Any, Optional
 import numpy as np
 
 from ..autograd import Tensor, grad, ops
+from ..autograd.capture import capture as _capture
 from ..model.environment import DescriptorBatch
 from ..model.network import DeePMD
 from ..telemetry.trace import Tracer, span as _span
@@ -161,7 +163,13 @@ class GradientWorker:
     force graph, and empty-shard short-circuits.
     """
 
-    def __init__(self, model: DeePMD, fused_env: bool = False, rank: int = 0):
+    def __init__(
+        self,
+        model: DeePMD,
+        fused_env: bool = False,
+        rank: int = 0,
+        compiled: bool = False,
+    ):
         self.model = model
         self.fused_env = fused_env
         self.rank = int(rank)
@@ -172,6 +180,19 @@ class GradientWorker:
         #: dropped on ``set_shard`` / ``set_weights``.
         self.graph = None
         self.fault: Optional[FaultInjector] = None
+        #: opt-in tape-compiled step replay (see repro.optim.compiled);
+        #: the engine is built lazily on the first gradient call
+        self.compiled = bool(compiled)
+        self._engine = None
+
+    def _compile_engine(self):
+        if not self.compiled:
+            return None
+        if self._engine is None:
+            from .compiled import CompiledStepEngine
+
+            self._engine = CompiledStepEngine(self)
+        return self._engine
 
     # ------------------------------------------------------------------
     # gradient math (shared with the serial FEKF path)
@@ -181,6 +202,11 @@ class GradientWorker:
 
     def energy_gradient(self, batch: DescriptorBatch) -> tuple[np.ndarray, float]:
         """Reduced per-atom-energy gradient E(g) and ABE for the batch."""
+        engine = self._compile_engine()
+        if engine is not None:
+            out = engine.energy_gradient(batch)
+            if out is not None:
+                return out
         model = self.model
         with _span("fekf.forward"):
             p = model.param_tensors()
@@ -200,7 +226,17 @@ class GradientWorker:
         return g_flat, abe
 
     def force_graph(self, batch: DescriptorBatch):
-        """Build the differentiable force predictions F = -dE/dr."""
+        """Build the differentiable force predictions F = -dE/dr.
+
+        Under the compiled engine this may return a
+        :class:`~repro.optim.compiled.CompiledForceGraph` marker in place
+        of the live ``(f_pred, params)`` pair; ``force_group_gradient``
+        understands both."""
+        engine = self._compile_engine()
+        if engine is not None:
+            out = engine.force_graph(batch)
+            if out is not None:
+                return out
         model = self.model
         with _span("fekf.forward"):
             p = model.param_tensors()
@@ -218,6 +254,17 @@ class GradientWorker:
         atom_group: np.ndarray,
     ) -> tuple[np.ndarray, float]:
         """Reduced gradient and ABE of one atom group's force components."""
+        if getattr(f_pred, "compiled_marker", False):
+            out = f_pred.engine.force_group_gradient(f_pred, batch, atom_group)
+            if out is not None:
+                return out
+            # the plan cannot serve this group (unseen size, observer
+            # active): fall back to a fresh eager forward
+            return self.force_gradient(batch, atom_group)
+        if self._engine is not None:
+            out = self._engine.trace_force_group(f_pred, p, batch, atom_group)
+            if out is not None:
+                return out
         with _span("fekf.forward"):
             sel = (slice(None), atom_group, slice(None))
             f_group = f_pred[sel]
@@ -237,6 +284,11 @@ class GradientWorker:
     ) -> tuple[np.ndarray, float]:
         """Fresh forward at the current weights + one group's gradient
         (the paper-exact per-update protocol)."""
+        engine = self._compile_engine()
+        if engine is not None:
+            out = engine.force_gradient(batch, atom_group)
+            if out is not None:
+                return out
         f_pred, p = self.force_graph(batch)
         return self.force_group_gradient(f_pred, p, batch, atom_group)
 
@@ -325,7 +377,12 @@ class GradientWorker:
         t0 = time.perf_counter()
         c0 = time.process_time()
         if capture:
-            with Tracer(keep_events=True, profile=capture == "profile") as tracer:
+            with contextlib.ExitStack() as stack:
+                tracer = stack.enter_context(Tracer(keep_events=True))
+                if capture == "profile":
+                    # the unified observer surface: installs a worker-local
+                    # Profiler attached to this tracer (autograd.capture)
+                    stack.enter_context(_capture("profile", tracer=tracer))
                 if method in _COMPUTE_TASKS:
                     attrs = {"method": method}
                     kind = _TASK_KIND.get(method)
@@ -370,8 +427,12 @@ class WorkerSpec:
 
     model: DeePMD
     fused_env: bool = False
+    compiled: bool = False
 
     def build(self, rank: int = 0) -> GradientWorker:
         return GradientWorker(
-            copy.deepcopy(self.model), fused_env=self.fused_env, rank=rank
+            copy.deepcopy(self.model),
+            fused_env=self.fused_env,
+            rank=rank,
+            compiled=self.compiled,
         )

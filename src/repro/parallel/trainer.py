@@ -101,6 +101,7 @@ class DistributedFEKF:
         cost_model: CostModel | None = None,
         seed: int = 0,
         executor: "str | Executor | None" = None,
+        compiled: bool | None = None,
     ):
         self.world_size = int(world_size)
         if cost_model is None:
@@ -114,9 +115,12 @@ class DistributedFEKF:
             fused_env=fused_env,
             reuse_force_graph=reuse_force_graph,
             seed=seed,
+            compiled=compiled,
         )
         self.model = model
-        self._spec = WorkerSpec(model=model, fused_env=fused_env)
+        self._spec = WorkerSpec(
+            model=model, fused_env=fused_env, compiled=self._local.compiled
+        )
         self.executor = make_executor(executor, self.world_size)
         self.executor.start(self._spec)
         self.timing = StepTiming()
@@ -147,6 +151,10 @@ class DistributedFEKF:
             "world_size": self.world_size,
             "executor": self.executor.name,
         }
+
+    def stats(self) -> dict:
+        """Parent-side optimizer diagnostics (see :meth:`FEKF.stats`)."""
+        return self._local.stats()
 
     def state_dict(self) -> dict[str, np.ndarray]:
         return self._local.state_dict()

@@ -50,7 +50,7 @@ class TestRegistry:
             "figure7a", "figure7b", "figure7c", "memory", "scaling",
             "scaling_walltime",
             "figure1", "ablations", "ablation_lambda_nu", "ablation_dataflow",
-            "ablation_force_graph", "profile", "serve-bench",
+            "ablation_force_graph", "profile", "serve-bench", "compile",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -143,22 +143,3 @@ class TestLegacyLayout:
 
         with pytest.raises(ValueError, match="collide"):
             save_state(str(tmp_path / "x.npz"), cu_model, EvilOpt())
-
-
-class TestDeprecatedAliases:
-    """The pre-protocol names still work for one release, loudly."""
-
-    def test_save_checkpoint_warns_and_delegates(
-        self, cu_model, cu_batch, cu_dataset, small_cfg, tmp_path
-    ):
-        from repro.optim import load_checkpoint, save_checkpoint
-
-        path = str(tmp_path / "m.npz")
-        with pytest.warns(DeprecationWarning, match="save_state"):
-            save_checkpoint(path, cu_model)
-        other = DeePMD.for_dataset(cu_dataset, small_cfg, seed=77)
-        with pytest.warns(DeprecationWarning, match="load_state"):
-            load_checkpoint(path, other)
-        assert np.allclose(
-            other.predict_energy(cu_batch), cu_model.predict_energy(cu_batch)
-        )
