@@ -1,0 +1,66 @@
+"""Online closed-loop acceptance gates.
+
+The online-learning claim (ISSUE: closed-loop pipeline) is that the
+explore -> gate -> label -> train -> swap loop improves the *served*
+model while it serves: held-out force RMSE strictly decreases across
+live hot swaps, the uncertainty gate avoids a nonzero share of reference
+labels, and no response is ever computed under a mix of model versions.
+These gates run the same :class:`repro.online.OnlineLearner` the harness
+experiment uses, bounded small enough for CI.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import SYSTEMS
+from repro.model import ModelEnsemble
+from repro.online import OnlineConfig, OnlineLearner
+
+
+@pytest.fixture(scope="module")
+def closed_loop_result(cu_data, cfg):
+    train, test = cu_data.split(0.8, seed=0)
+    ensemble = ModelEnsemble.for_dataset(train, cfg, n_models=2, seed=1)
+    spec = SYSTEMS["Cu"]
+    _, _, _, potential = spec.build("small")
+    ocfg = OnlineConfig(
+        md_steps=30, sample_every=10, select_lo=0.0,
+        epochs_per_round=1, batch_size=4, max_new_frames=6,
+        target_swaps=2, max_segments=24, eval_frames=16,
+    )
+    learner = OnlineLearner(
+        ensemble, potential, train.species, spec.masses(train.species),
+        train.cell, cfg=ocfg, initial_data=train, holdout=test, seed=0,
+    )
+    with learner:
+        learner.service.start()
+        initial = ensemble.evaluate_rmse(test, max_frames=16)["force_rmse"]
+        result = learner.run(train.positions[0], temperature=400.0)
+    return initial, result
+
+
+class TestOnlineGates:
+    def test_live_swaps_happen(self, closed_loop_result):
+        _, result = closed_loop_result
+        assert result.n_swaps >= 1, "no weights ever promoted"
+
+    def test_rmse_strictly_decreases_across_swaps(self, closed_loop_result):
+        initial, result = closed_loop_result
+        rmses = [initial] + [s.force_rmse for s in result.swaps]
+        assert all(a > b for a, b in zip(rmses, rmses[1:])), rmses
+
+    def test_gate_avoids_labels(self, closed_loop_result):
+        _, result = closed_loop_result
+        assert result.ledger["avoided"] > 0, result.ledger
+        assert result.ledger["requested"] == result.ledger["labeled"]
+
+    def test_no_mixed_version_batches_no_gate_errors(self, closed_loop_result):
+        _, result = closed_loop_result
+        assert result.ledger["mixed_version_batches"] == 0
+        assert result.ledger["gate_errors"] == 0
+
+    def test_swap_wall_clock_is_monotone(self, closed_loop_result):
+        _, result = closed_loop_result
+        walls = [s.wall_s for s in result.swaps]
+        assert walls == sorted(walls)
+        assert all(np.isfinite(w) and w > 0 for w in walls)

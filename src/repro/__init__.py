@@ -39,6 +39,14 @@ from .optim import (
     make_optimizer,
     save_state,
 )
+from .online import (
+    Explorer,
+    IncrementalTrainer,
+    Labeler,
+    OnlineConfig,
+    OnlineLearner,
+    UncertaintyGate,
+)
 from .parallel import DistributedFEKF, SimCommunicator
 from .serve import InferenceService, ServeConfig
 from .train import Callback, ConsoleCallback, TargetCriterion, Trainer, TrainResult
@@ -75,6 +83,12 @@ __all__ = [
     "Prediction",
     "InferenceService",
     "ServeConfig",
+    "OnlineLearner",
+    "OnlineConfig",
+    "Explorer",
+    "UncertaintyGate",
+    "Labeler",
+    "IncrementalTrainer",
     "DistributedFEKF",
     "SimCommunicator",
     "Trainer",

@@ -71,7 +71,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     serve.add_argument(
         "--bench-dir", default=None, dest="bench_dir",
-        help="directory for the BENCH_serve.json manifest (serve-bench)",
+        help="directory for the BENCH_<name>.json manifest "
+        "(serve-bench, online)",
+    )
+    online = parser.add_argument_group("online")
+    online.add_argument(
+        "--swaps", type=int, default=None,
+        help="live model swaps to reach before stopping (online)",
+    )
+    online.add_argument(
+        "--max-segments", type=int, default=None, dest="max_segments",
+        help="exploration-segment budget for the closed loop (online)",
     )
     parser.add_argument(
         "--trace-out",
@@ -119,6 +129,7 @@ def main(argv: list[str] | None = None) -> int:
                 for opt in (
                     "clients", "requests", "max_batch", "max_delay_ms",
                     "serve_executor", "serve_workers", "bench_dir",
+                    "swaps", "max_segments",
                 ):
                     value = getattr(args, opt)
                     if opt in sig.parameters and value is not None:

@@ -103,3 +103,21 @@ class LangevinIntegrator:
             if callback is not None and state.step % callback_every == 0:
                 callback(state)
         return state
+
+    def sample_frames(
+        self, state: MDState, n_steps: int, sample_every: int
+    ) -> tuple[MDState, np.ndarray]:
+        """Run ``n_steps`` (rounded down to whole ``sample_every`` chunks),
+        snapshotting positions after each chunk.
+
+        Returns the advanced state plus the sampled frames as a
+        ``(n_steps // sample_every, N, 3)`` array -- the exploration
+        segment shape the active/online learning loops consume.
+        """
+        frames = []
+        for _ in range(n_steps // sample_every):
+            state = self.run(state, sample_every)
+            frames.append(state.positions.copy())
+        if not frames:
+            return state, np.empty((0,) + state.positions.shape)
+        return state, np.stack(frames)

@@ -113,6 +113,28 @@ class ModelEnsemble(InferenceSession):
         """Just the selection signal (B,)."""
         return self._predict_batch(batch).max_force_dev
 
+    def evaluate_rmse(self, dataset, max_frames: int = 128) -> dict[str, float]:
+        """Committee-mean energy (per atom) / force RMSE over (a sample
+        of) a labeled dataset -- the held-out quality signal the online
+        loop's swap promotion gate decides on.  Frame sampling matches
+        :meth:`DeePMD.evaluate_rmse` so single-model and ensemble curves
+        are comparable."""
+        from .environment import make_batch
+
+        take = np.arange(dataset.n_frames)
+        if dataset.n_frames > max_frames:
+            take = np.linspace(0, dataset.n_frames - 1, max_frames).astype(int)
+        batch = make_batch(dataset, take, self.cfg)
+        ep = self._predict_batch(batch, fused_env=True)
+        n = dataset.n_atoms
+        e_rmse = float(np.sqrt(np.mean(((ep.energy - batch.energies) / n) ** 2)))
+        f_rmse = float(np.sqrt(np.mean((ep.forces - batch.forces) ** 2)))
+        return {
+            "energy_rmse": e_rmse,
+            "force_rmse": f_rmse,
+            "total_rmse": e_rmse + f_rmse,
+        }
+
     # ------------------------------------------------------------------
     def state_dicts(self) -> list[dict]:
         """Per-member state (the hot-swap payload for ensemble serving)."""

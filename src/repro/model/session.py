@@ -128,6 +128,23 @@ class InferenceSession(abc.ABC):
         self._model_version += 1
         return self._model_version
 
+    def restore_version(self, version: int) -> int:
+        """Fast-forward ``model_version`` when resuming from a checkpoint.
+
+        A resumed online-learning session must serve under the version
+        it crashed at -- version-keyed prediction caches and ledgers
+        would otherwise alias a fresh session's version 1 with the old
+        one.  Only forward moves are allowed (the counter stays
+        monotonic).
+        """
+        version = int(version)
+        if version < self._model_version:
+            raise ValueError(
+                f"cannot rewind model_version {self._model_version} -> {version}"
+            )
+        self._model_version = version
+        return self._model_version
+
     def _load_state(self, state) -> None:
         raise NotImplementedError(f"{type(self).__name__} does not support swap")
 

@@ -1,0 +1,44 @@
+"""repro.online -- closed-loop online learning against live traffic.
+
+The paper's headline claim -- one DeePMD model trained in minutes -- is
+a *step towards online learning*: training fast enough that the model
+improving and the model serving are the same running system.  This
+package closes that loop.  The four phases that
+:class:`repro.train.ActiveLearner` runs as sequential batch rounds
+(explore -> select -> label -> train) become concurrent stages connected
+by bounded queues, wrapped around a live
+:class:`repro.serve.InferenceService`:
+
+    learner = OnlineLearner(ensemble, reference, species, masses, cell,
+                            holdout=test_set, service=service)
+    result = learner.run(start_positions)   # explore/gate/label/train/swap
+    learner.save_state("ckpt/")             # pause ...
+    learner.load_state("ckpt/")             # ... and resume bit-exactly
+
+Stage objects (:class:`Explorer`, :class:`UncertaintyGate`,
+:class:`Labeler`, :class:`IncrementalTrainer`) are shared with the
+batch driver -- same code, two schedules.
+"""
+
+from .ledger import LabelLedger, SwapRecord
+from .loop import OnlineConfig, OnlineLearner, OnlineResult
+from .stages import (
+    Explorer,
+    GateDecision,
+    IncrementalTrainer,
+    Labeler,
+    UncertaintyGate,
+)
+
+__all__ = [
+    "OnlineConfig",
+    "OnlineLearner",
+    "OnlineResult",
+    "Explorer",
+    "GateDecision",
+    "UncertaintyGate",
+    "Labeler",
+    "IncrementalTrainer",
+    "LabelLedger",
+    "SwapRecord",
+]

@@ -1,0 +1,276 @@
+"""The four stages of the explore -> gate -> label -> train loop.
+
+``repro.train.active`` used to hold all four phases inline in one
+monolithic ``run_round``; they now live here as free-standing stage
+objects so the *same* code runs in two harnesses:
+
+* the batch :class:`~repro.train.ActiveLearner` drives them
+  synchronously, one round at a time (bit-identical to the pre-refactor
+  loop -- the regression tests replay the old monolithic code against
+  the stage composition);
+* the concurrent :class:`~repro.online.OnlineLearner` runs each stage on
+  its own thread, connected by bounded queues, against a *live*
+  :class:`~repro.serve.InferenceService`.
+
+Every stage is deliberately free of threads, queues, and telemetry --
+those belong to the driver.  A stage is a plain callable over arrays and
+datasets, which is what makes the two drivers equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..md.cell import Cell
+from ..md.integrator import LangevinIntegrator
+from ..md.potentials import Potential
+from ..model.calculator import DeePMDCalculator
+from ..model.ensemble import ModelEnsemble
+from ..model.network import DeePMD
+from ..model.session import InferenceSession
+from ..optim.ekf import FEKF
+from ..optim.kalman import KalmanConfig
+
+__all__ = [
+    "Explorer",
+    "GateDecision",
+    "UncertaintyGate",
+    "Labeler",
+    "IncrementalTrainer",
+]
+
+
+class Explorer:
+    """MD exploration with the NNMD surrogate.
+
+    Drives :class:`LangevinIntegrator` with a
+    :class:`DeePMDCalculator` wrapping ``model`` and samples candidate
+    frames every ``sample_every`` steps.  The surrogate model object is
+    held by reference: the batch driver hands in the live ensemble
+    member (exploration always uses the freshest weights), while the
+    concurrent driver hands in a private copy and refreshes it at
+    segment boundaries via :meth:`refresh` -- MD must never read weights
+    mid-mutation.
+    """
+
+    def __init__(
+        self,
+        model: DeePMD,
+        species: np.ndarray,
+        masses: np.ndarray,
+        cell: Cell,
+        *,
+        md_steps: int = 120,
+        sample_every: int = 10,
+        timestep_fs: float = 2.0,
+        friction: float = 0.02,
+        rng: np.random.Generator,
+    ):
+        self.model = model
+        self.species = np.asarray(species, dtype=np.int64)
+        self.masses = np.asarray(masses, dtype=np.float64)
+        self.cell = cell
+        self.md_steps = int(md_steps)
+        self.sample_every = int(sample_every)
+        self.timestep_fs = float(timestep_fs)
+        self.friction = float(friction)
+        self.rng = rng
+
+    @property
+    def frames_per_segment(self) -> int:
+        return self.md_steps // self.sample_every
+
+    def explore(self, start: np.ndarray, temperature: float) -> np.ndarray:
+        """One exploration segment from ``start``; returns (C, N, 3)."""
+        calc = DeePMDCalculator(self.model, self.species)
+        integ = LangevinIntegrator(
+            calc, self.masses, self.cell,
+            timestep=self.timestep_fs, temperature=temperature,
+            friction=self.friction, rng=self.rng,
+        )
+        state = integ.initialize(start, temp=temperature)
+        _, frames = integ.sample_frames(state, self.md_steps, self.sample_every)
+        return frames
+
+    def refresh(self, state: dict) -> None:
+        """Load new surrogate weights (the concurrent driver's private
+        walker copy follows the served model at segment boundaries)."""
+        self.model.load_state_dict(state)
+
+
+@dataclass
+class GateDecision:
+    """What the uncertainty gate decided about one candidate batch."""
+
+    #: frames admitted to labeling (S, N, 3)
+    selected: np.ndarray
+    #: max force deviation of every candidate (C,)
+    deviations: np.ndarray
+    #: candidate indices of the selected frames
+    kept: np.ndarray
+    mean_deviation: float
+    #: model versions that scored this batch (a singleton set unless the
+    #: scorer violated single-version batching)
+    versions: frozenset
+
+    @property
+    def n_candidates(self) -> int:
+        return len(self.deviations)
+
+    @property
+    def n_selected(self) -> int:
+        return len(self.kept)
+
+    @property
+    def labels_avoided(self) -> int:
+        """Reference evaluations the gate saved on this batch."""
+        return self.n_candidates - self.n_selected
+
+    @property
+    def mixed_version(self) -> bool:
+        return len(self.versions) > 1
+
+
+class UncertaintyGate:
+    """Trust-band selection on the ensemble's max force deviation.
+
+    ``scorer`` is any :class:`InferenceSession` whose predictions carry
+    ``max_force_dev`` -- the bare :class:`ModelEnsemble` in the batch
+    loop, a live :class:`repro.serve.InferenceService` wrapping it in
+    the online loop.  Candidates below ``lo`` are already learned,
+    candidates above ``hi`` come from trajectories too wrong to trust;
+    at most ``max_new_frames`` survive, highest deviation first.
+    """
+
+    def __init__(
+        self,
+        scorer: InferenceSession,
+        species: np.ndarray,
+        cell: Cell,
+        *,
+        lo: float = 0.05,
+        hi: float = 1.0,
+        max_new_frames: int = 16,
+    ):
+        self.scorer = scorer
+        self.species = np.asarray(species, dtype=np.int64)
+        self.cell = cell
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.max_new_frames = int(max_new_frames)
+
+    def select(self, frames: np.ndarray) -> GateDecision:
+        preds = self.scorer.predict_many(frames, self.species, self.cell)
+        if any(p.max_force_dev is None for p in preds):
+            raise TypeError(
+                "gate scorer predictions carry no max_force_dev; wrap an "
+                "ensemble-backed session"
+            )
+        devs = np.array([p.max_force_dev for p in preds], dtype=np.float64)
+        keep = (devs > self.lo) & (devs < self.hi)
+        chosen = np.where(keep)[0]
+        if len(chosen) > self.max_new_frames:
+            order = np.argsort(-devs[chosen])
+            chosen = chosen[order[: self.max_new_frames]]
+        return GateDecision(
+            selected=frames[chosen],
+            deviations=devs,
+            kept=chosen,
+            mean_deviation=float(devs.mean()),
+            versions=frozenset(p.model_version for p in preds),
+        )
+
+
+class Labeler:
+    """Reference-potential labeling (the ab-initio stand-in)."""
+
+    def __init__(self, reference: Potential, species: np.ndarray, cell: Cell):
+        self.reference = reference
+        self.species = np.asarray(species, dtype=np.int64)
+        self.cell = cell
+
+    def label(self, frames: np.ndarray, temperature: float) -> Dataset:
+        energies = np.empty(len(frames))
+        forces = np.empty_like(frames)
+        for t, pos in enumerate(frames):
+            energies[t], forces[t] = self.reference.energy_forces(pos, self.cell)
+        return Dataset(
+            name="active",
+            positions=frames,
+            energies=energies,
+            forces=forces,
+            species=self.species,
+            cell=self.cell,
+            temperatures=np.full(len(frames), temperature),
+        )
+
+
+class IncrementalTrainer:
+    """Persistent per-member FEKF filters over an accumulating label set.
+
+    One :class:`FEKF` per committee member, constructed once and reused
+    across every round -- the filter's P matrix is where minutes-scale
+    convergence lives, so it must never be rebuilt mid-loop.  The
+    training epochs themselves run through the standard
+    :class:`~repro.train.Trainer`, so compiled step engines, callbacks
+    and telemetry all apply unchanged.
+    """
+
+    def __init__(
+        self,
+        ensemble: ModelEnsemble,
+        *,
+        kalman_cfg: KalmanConfig | None = None,
+        batch_size: int = 4,
+        epochs_per_round: int = 3,
+        seed: int = 0,
+        compiled: bool | None = None,
+    ):
+        self.ensemble = ensemble
+        self.batch_size = int(batch_size)
+        self.epochs_per_round = int(epochs_per_round)
+        kcfg = kalman_cfg or KalmanConfig(blocksize=2048, fused_update=True)
+        #: one persistent filter per committee member
+        self.optimizers = [
+            FEKF(
+                m, KalmanConfig(**vars(kcfg)), fused_env=True,
+                seed=seed + k, compiled=compiled,
+            )
+            for k, m in enumerate(ensemble.models)
+        ]
+        self.labeled: Dataset | None = None
+
+    def accumulate(self, new: Dataset) -> None:
+        """Append newly labeled frames to the training pool."""
+        if self.labeled is None:
+            self.labeled = new
+            return
+        old = self.labeled
+        self.labeled = Dataset(
+            name="active",
+            positions=np.concatenate([old.positions, new.positions]),
+            energies=np.concatenate([old.energies, new.energies]),
+            forces=np.concatenate([old.forces, new.forces]),
+            species=old.species,
+            cell=old.cell,
+            temperatures=np.concatenate([old.temperatures, new.temperatures]),
+        )
+
+    @property
+    def ready(self) -> bool:
+        """Enough accumulated labels for at least one full minibatch."""
+        return self.labeled is not None and self.labeled.n_frames >= self.batch_size
+
+    def train_round(self, seed_offset: int) -> None:
+        """Fine-tune every member on the accumulated pool."""
+        from ..train.trainer import Trainer  # deferred: train imports stages
+
+        for model, opt in zip(self.ensemble.models, self.optimizers):
+            Trainer(
+                model, opt, self.labeled, None,
+                batch_size=self.batch_size,
+                seed=seed_offset + 1,
+            ).run(max_epochs=self.epochs_per_round)

@@ -12,8 +12,10 @@ Every optimizer satisfies the :class:`Optimizer` protocol
 from .base import (
     OPTIMIZER_NAMES,
     Optimizer,
+    load_ensemble_state,
     load_state,
     make_optimizer,
+    save_ensemble_state,
     save_state,
 )
 from .blocks import Block, block_shapes, p_memory_bytes, split_blocks, validate_blocks
@@ -59,4 +61,6 @@ __all__ = [
     "LossConfig",
     "save_state",
     "load_state",
+    "save_ensemble_state",
+    "load_ensemble_state",
 ]

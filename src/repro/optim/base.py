@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from typing import Optional, Protocol, runtime_checkable
+from typing import Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -46,6 +46,8 @@ __all__ = [
     "make_optimizer",
     "save_state",
     "load_state",
+    "save_ensemble_state",
+    "load_ensemble_state",
 ]
 
 
@@ -106,6 +108,74 @@ def load_state(path: str, model: DeePMD, optimizer: "Optional[Optimizer]" = None
         if not opt_state:
             raise KeyError(f"{path} holds no optimizer state")
         optimizer.load_state_dict(opt_state)
+
+
+def save_ensemble_state(
+    path: str,
+    models: "Sequence[DeePMD]",
+    optimizers: "Optional[Sequence[Optimizer]]" = None,
+) -> None:
+    """One-file npz persistence for a whole committee: every member's
+    model weights and (optionally) its persistent optimizer state, under
+    ``member<k>/`` key prefixes.
+
+    This is the checkpoint surface of the online-learning loop: each
+    ensemble member trains under its *own* persistent FEKF filter, and a
+    resumed loop must restore every (weights, P, lambda, RNG) tuple --
+    the filter state is where the fast convergence lives.
+    """
+    if optimizers is not None and len(optimizers) != len(models):
+        raise ValueError(
+            f"{len(optimizers)} optimizer states for {len(models)} models"
+        )
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    payload: dict[str, np.ndarray] = {"__members__": np.array(len(models))}
+    for k, model in enumerate(models):
+        for key, value in model.state_dict().items():
+            payload[f"member{k}/model/{key}"] = value
+        if optimizers is not None:
+            for key, value in optimizers[k].state_dict().items():
+                payload[f"member{k}/{key}"] = value
+    np.savez_compressed(path, **payload)
+
+
+def load_ensemble_state(
+    path: str,
+    models: "Sequence[DeePMD]",
+    optimizers: "Optional[Sequence[Optimizer]]" = None,
+) -> None:
+    """Restore a file written by :func:`save_ensemble_state` into
+    already-constructed members (and their optimizers, when given)."""
+    with np.load(path, allow_pickle=False) as z:
+        n = int(z["__members__"]) if "__members__" in z.files else 0
+        if n != len(models):
+            raise ValueError(
+                f"checkpoint holds {n} members for {len(models)} models"
+            )
+        for k, model in enumerate(models):
+            prefix = f"member{k}/"
+            member = {
+                key[len(prefix):]: z[key]
+                for key in z.files
+                if key.startswith(prefix)
+            }
+            model.load_state_dict(
+                {
+                    key[len("model/"):]: value
+                    for key, value in member.items()
+                    if key.startswith("model/")
+                }
+            )
+            if optimizers is None:
+                continue
+            opt_state = {
+                key: value
+                for key, value in member.items()
+                if not key.startswith("model/")
+            }
+            if not opt_state:
+                raise KeyError(f"{path} holds no optimizer state for member {k}")
+            optimizers[k].load_state_dict(opt_state)
 
 
 _KALMAN_FIELDS = {f.name for f in dataclasses.fields(KalmanConfig)}

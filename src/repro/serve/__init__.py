@@ -14,15 +14,18 @@ See :mod:`repro.serve.service` for the micro-batching / caching /
 hot-swap design notes.
 """
 
-from .cache import LRUCache
-from .config import ServeConfig
-from .service import (
-    InferenceService,
+from .admission import (
+    AdmissionController,
+    BoundedWorkQueue,
+    QueueClosed,
     ServeError,
     ServeOverloaded,
     ServeTimeout,
     ServiceStopped,
 )
+from .cache import LRUCache
+from .config import ServeConfig
+from .service import InferenceService
 from .worker import PredictSpec, PredictWorker
 
 __all__ = [
@@ -31,6 +34,9 @@ __all__ = [
     "LRUCache",
     "PredictSpec",
     "PredictWorker",
+    "AdmissionController",
+    "BoundedWorkQueue",
+    "QueueClosed",
     "ServeError",
     "ServeOverloaded",
     "ServeTimeout",

@@ -1,0 +1,235 @@
+"""Admission control: the serve layer's shared backpressure primitives.
+
+The batched :class:`~repro.serve.InferenceService` established the
+repo's degradation contract: work submitted beyond a bounded capacity is
+*rejected* with :class:`ServeOverloaded` rather than queued without
+limit.  The online closed loop (``repro.online``) needs the same
+contract between its pipeline stages -- an MD explorer must not outrun
+the labeler into unbounded memory -- so the policy lives here as two
+reusable pieces:
+
+:class:`AdmissionController`
+    The bare admit/reject decision over a depth and a limit, used by the
+    service's request queue and by every :class:`BoundedWorkQueue`.
+
+:class:`BoundedWorkQueue`
+    A closable bounded FIFO connecting pipeline stages, with a choice of
+    overflow policy:
+
+    * ``"block"`` -- the producer waits for space (backpressure; the
+      online explorer slows to the labeler's pace),
+    * ``"reject"`` -- raise :class:`ServeOverloaded` immediately (the
+      service's client-facing contract),
+    * ``"drop_oldest"`` -- evict the stalest item to admit the newest
+      (freshness-first streams, e.g. telemetry).
+
+    ``close()`` ends the stream: producers can no longer put, consumers
+    drain what remains and then see ``None`` / iteration stop.  All
+    waits poll an optional ``stop`` event so a paused pipeline never
+    deadlocks on a full or empty queue.
+
+The exception hierarchy of the serve layer also lives here (it predates
+this module in ``repro.serve.service``; the names re-export from both
+places).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Iterator, Optional
+
+__all__ = [
+    "ServeError",
+    "ServeOverloaded",
+    "ServeTimeout",
+    "ServiceStopped",
+    "QueueClosed",
+    "AdmissionController",
+    "BoundedWorkQueue",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class of every serve-layer failure."""
+
+
+class ServeOverloaded(ServeError):
+    """A bounded queue is full (backpressure, never unbounded memory)."""
+
+
+class ServeTimeout(ServeError):
+    """A request exceeded its wall-clock budget (queue wait + compute)."""
+
+
+class ServiceStopped(ServeError):
+    """The service is not accepting requests (stopped or never started)."""
+
+
+class QueueClosed(ServeError):
+    """A put after :meth:`BoundedWorkQueue.close` (the stream has ended)."""
+
+
+class AdmissionController:
+    """The admit/reject decision shared by every bounded queue.
+
+    Stateless beyond its configuration: callers pass the current depth
+    and get either silence (admitted) or :class:`ServeOverloaded`.
+    Centralizing the check keeps the rejection message and the policy's
+    meaning identical across the service and the pipeline queues.
+    """
+
+    __slots__ = ("limit", "name")
+
+    def __init__(self, limit: int, name: str = "queue"):
+        if limit < 1:
+            raise ValueError("admission limit must be >= 1")
+        self.limit = int(limit)
+        self.name = name
+
+    def admits(self, depth: int) -> bool:
+        return depth < self.limit
+
+    def check(self, depth: int) -> None:
+        """Raise :class:`ServeOverloaded` when ``depth`` is at capacity."""
+        if depth >= self.limit:
+            raise ServeOverloaded(
+                f"{self.name} full ({self.limit} pending)"
+            )
+
+
+_POLICIES = ("block", "reject", "drop_oldest")
+
+
+class BoundedWorkQueue:
+    """A closable bounded FIFO with an explicit overflow policy.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum queued items; the admission limit.
+    policy:
+        ``"block"`` / ``"reject"`` / ``"drop_oldest"`` (see module docs).
+    name:
+        Appears in :class:`ServeOverloaded` messages and :meth:`stats`.
+    """
+
+    def __init__(self, capacity: int, policy: str = "block", name: str = "queue"):
+        if policy not in _POLICIES:
+            raise ValueError(f"policy must be one of {_POLICIES}, got {policy!r}")
+        self.admission = AdmissionController(capacity, name=name)
+        self.policy = policy
+        self.name = name
+        self._items: deque = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._counts = {"put": 0, "got": 0, "dropped": 0, "rejected": 0}
+
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        item,
+        timeout: Optional[float] = None,
+        stop: Optional[threading.Event] = None,
+    ) -> bool:
+        """Enqueue ``item``; returns True when it was admitted.
+
+        ``"reject"`` raises :class:`ServeOverloaded` on overflow;
+        ``"block"`` waits (polling ``stop`` every 50 ms) and returns
+        False if the wait ends via ``timeout``/``stop`` instead of
+        space; ``"drop_oldest"`` always admits, evicting the head.
+        Putting into a closed queue raises :class:`QueueClosed`.
+        """
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise QueueClosed(f"{self.name} is closed")
+                if self.admission.admits(len(self._items)):
+                    break
+                if self.policy == "reject":
+                    self._counts["rejected"] += 1
+                    self.admission.check(len(self._items))  # raises
+                if self.policy == "drop_oldest":
+                    self._items.popleft()
+                    self._counts["dropped"] += 1
+                    break
+                if stop is not None and stop.is_set():
+                    return False
+                if timeout is not None and timeout <= 0:
+                    return False
+                self._cond.wait(timeout=0.05)
+                if timeout is not None:
+                    timeout -= 0.05
+            self._items.append(item)
+            self._counts["put"] += 1
+            self._cond.notify_all()
+            return True
+
+    def get(
+        self,
+        timeout: Optional[float] = None,
+        stop: Optional[threading.Event] = None,
+    ):
+        """Dequeue the oldest item, waiting for one to arrive.
+
+        Returns ``None`` when the queue is closed and drained, or when
+        the wait ends via ``timeout``/``stop`` -- consumers distinguish
+        the two with :meth:`drained`.
+        """
+        with self._cond:
+            while True:
+                if self._items:
+                    item = self._items.popleft()
+                    self._counts["got"] += 1
+                    self._cond.notify_all()
+                    return item
+                if self._closed:
+                    return None
+                if stop is not None and stop.is_set():
+                    return None
+                if timeout is not None and timeout <= 0:
+                    return None
+                self._cond.wait(timeout=0.05)
+                if timeout is not None:
+                    timeout -= 0.05
+
+    def __iter__(self) -> Iterator:
+        """Drain items until the queue is closed and empty."""
+        while True:
+            item = self.get()
+            if item is None and self.drained():
+                return
+            if item is not None:
+                yield item
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """End the stream: puts start raising, gets drain then None."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def drained(self) -> bool:
+        """True once closed with nothing left to consume."""
+        with self._cond:
+            return self._closed and not self._items
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    def stats(self) -> dict:
+        """JSON-ready lifetime counters plus the current depth."""
+        with self._cond:
+            return {
+                "name": self.name,
+                "capacity": self.admission.limit,
+                "policy": self.policy,
+                "depth": len(self._items),
+                **dict(self._counts),
+            }

@@ -64,6 +64,13 @@ from ..parallel.executor import Executor, WorkerCrash, make_executor
 from ..telemetry import metrics as _metrics
 from ..telemetry.metrics import Histogram
 from ..telemetry.trace import Tracer, current_tracer, span as _span
+from .admission import (
+    AdmissionController,
+    ServeError,
+    ServeOverloaded,
+    ServeTimeout,
+    ServiceStopped,
+)
 from .cache import LRUCache
 from .config import ServeConfig
 from .worker import PredictSpec
@@ -75,22 +82,6 @@ __all__ = [
     "ServiceStopped",
     "InferenceService",
 ]
-
-
-class ServeError(RuntimeError):
-    """Base class of every serve-layer failure."""
-
-
-class ServeOverloaded(ServeError):
-    """The bounded request queue is full (backpressure)."""
-
-
-class ServeTimeout(ServeError):
-    """A request exceeded its wall-clock budget (queue wait + compute)."""
-
-
-class ServiceStopped(ServeError):
-    """The service is not accepting requests (stopped or never started)."""
 
 
 class _Request:
@@ -145,6 +136,10 @@ class InferenceService(InferenceSession):
         #: swap payload not yet broadcast to workers (lazy sync)
         self._pending_state = None
         self._worker_version = session.model_version
+        #: the shared admit/reject policy (see repro.serve.admission)
+        self._admission = AdmissionController(
+            self.config.max_queue, name="serve request queue"
+        )
         self._neighbor_cache = LRUCache(self.config.cache_capacity)
         self._prediction_cache = LRUCache(self.config.cache_capacity)
         #: service-local distributions (the global REGISTRY also gets the
@@ -299,12 +294,10 @@ class InferenceService(InferenceSession):
                     self._counts["responses"] += 1
                     _metrics.REGISTRY.counter("serve.cache_hits").inc()
                     return replace(hit, cached=True)
-            if len(self._queue) >= self.config.max_queue:
+            if not self._admission.admits(len(self._queue)):
                 self._counts["rejected"] += 1
                 _metrics.REGISTRY.counter("serve.rejected").inc()
-                raise ServeOverloaded(
-                    f"request queue full ({self.config.max_queue} pending)"
-                )
+                self._admission.check(len(self._queue))  # raises ServeOverloaded
             group_key = (
                 positions.shape[0],
                 skey,
@@ -357,6 +350,19 @@ class InferenceService(InferenceSession):
                 self._prediction_cache.clear()
         _metrics.REGISTRY.counter("serve.swaps").inc()
         return version
+
+    def restore_version(self, version: int) -> int:
+        """Fast-forward the wrapped session's version (checkpoint resume).
+
+        Worker replicas already carry the restored weights (they are
+        deep-copied from the session at :meth:`start`), so the version
+        counter moves without a broadcast.
+        """
+        with self._swap_lock:
+            result = self._session.restore_version(version)
+            if self._executor is not None:
+                self._worker_version = result
+        return result
 
     # ------------------------------------------------------------------
     # batcher
@@ -558,14 +564,7 @@ class InferenceService(InferenceSession):
         self._loop_tracer = None
         if loop is None or ambient is None:
             return
-        if loop.events:
-            ambient.emit_foreign(
-                [e.as_dict() for e in loop.events], thread="serve-batcher"
-            )
-        if loop.profiler is not None and ambient.profiler is not None:
-            ambient.profiler.emit_foreign(
-                [o.as_dict() for o in loop.profiler.events], rank=-1
-            )
+        ambient.adopt(loop, thread="serve-batcher")
 
     def stats(self) -> dict:
         """JSON-ready service-life statistics (per-instance)."""

@@ -296,6 +296,26 @@ class Tracer:
             for sink in self.sinks:
                 sink(ev)
 
+    def adopt(self, child: "Tracer", **extra_attrs) -> None:
+        """Fold a finished child tracer's spans (and profiler ops, when
+        both sides profile) into this tracer's stream.
+
+        This is the merge half of the capture-per-thread pattern: a
+        worker thread records under its own tracer (tracer stacks are
+        thread-local), and once it has been joined the owner adopts the
+        events -- the serve batcher and every ``repro.online`` stage
+        thread ship their spans home this way.  ``extra_attrs`` (e.g.
+        ``thread="online-gate"``) are stamped on every adopted span.
+        """
+        if child is self:
+            return
+        if child.events:
+            self.emit_foreign([e.as_dict() for e in child.events], **extra_attrs)
+        if child.profiler is not None and self.profiler is not None:
+            self.profiler.emit_foreign(
+                [o.as_dict() for o in child.profiler.events], rank=-1
+            )
+
     def summary(self) -> dict:
         """Aggregate retained events by span name (see ``export.summarize``)."""
         from .export import summarize

@@ -18,32 +18,37 @@ Each round:
 Minutes-scale training (the paper's contribution) is what makes running
 this loop dozens of times practical.
 
-All predictions flow through the :class:`repro.model.InferenceSession`
-protocol: exploration drives MD with a :class:`DeePMDCalculator` session
-and selection scores candidates with the ensemble session's batched
-``predict_many`` -- no descriptor plumbing is built here (that stays
-inside ``repro.model``/``repro.serve``, enforced by the test suite).
-A :class:`repro.serve.InferenceService` wrapping the same ensemble can be
-passed as ``scorer`` to serve the selection phase remotely.
+The four phases are implemented by the stage objects in
+:mod:`repro.online.stages` -- :class:`~repro.online.Explorer`,
+:class:`~repro.online.UncertaintyGate`, :class:`~repro.online.Labeler`,
+:class:`~repro.online.IncrementalTrainer`.  :class:`ActiveLearner` is
+the thin *synchronous* driver over them (one round at a time, in-process
+scoring); :class:`repro.online.OnlineLearner` runs the same stages
+concurrently against a live :class:`repro.serve.InferenceService`.  The
+regression tests hold the two drivers to the same stage semantics --
+this batch loop is bit-identical to the pre-decomposition monolith.
+
+Round phases are recorded as telemetry spans (``active.explore`` /
+``active.select`` / ``active.label`` / ``active.train``) on a per-round
+tracer that merges into the ambient tracer when one is installed --
+``RoundStats.train_seconds`` comes from those spans, not from ad-hoc
+wall-clock reads.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..data.dataset import Dataset
 from ..md.cell import Cell
-from ..md.integrator import LangevinIntegrator
 from ..md.potentials import Potential
-from ..model.calculator import DeePMDCalculator
 from ..model.ensemble import ModelEnsemble
 from ..model.session import InferenceSession
-from ..optim.ekf import FEKF
+from ..online.stages import Explorer, IncrementalTrainer, Labeler, UncertaintyGate
 from ..optim.kalman import KalmanConfig
-from .trainer import Trainer
+from ..telemetry.trace import Tracer, current_tracer
 
 
 @dataclass
@@ -78,7 +83,7 @@ class ActiveLearningConfig:
 
 
 class ActiveLearner:
-    """Runs the explore/select/label/train loop.
+    """Runs the explore/select/label/train loop, one round at a time.
 
     ``scorer`` optionally overrides the session used for the select
     phase -- any :class:`InferenceSession` whose predictions carry
@@ -100,103 +105,99 @@ class ActiveLearner:
         scorer: InferenceSession | None = None,
     ):
         self.ensemble = ensemble
-        self.reference = reference
         self.species = np.asarray(species, dtype=np.int64)
         self.masses = np.asarray(masses, dtype=np.float64)
         self.cell = cell
         self.cfg = cfg or ActiveLearningConfig()
-        #: the select-phase session (ensemble committee by default)
-        self.scorer: InferenceSession = scorer if scorer is not None else ensemble
         self._rng = np.random.default_rng(seed)
-        kcfg = kalman_cfg or KalmanConfig(blocksize=2048, fused_update=True)
-        #: one persistent filter per committee member
-        self.optimizers = [
-            FEKF(m, KalmanConfig(**vars(kcfg)), fused_env=True, seed=seed + k)
-            for k, m in enumerate(ensemble.models)
-        ]
+        # exploration walks the live first member by reference: in the
+        # synchronous loop training and MD never overlap, so the
+        # freshest weights are always safe to read
+        self.explorer = Explorer(
+            ensemble.models[0], self.species, self.masses, cell,
+            md_steps=self.cfg.md_steps,
+            sample_every=self.cfg.sample_every,
+            timestep_fs=self.cfg.timestep_fs,
+            friction=self.cfg.friction,
+            rng=self._rng,
+        )
+        self.gate = UncertaintyGate(
+            scorer if scorer is not None else ensemble,
+            self.species, cell,
+            lo=self.cfg.select_lo, hi=self.cfg.select_hi,
+            max_new_frames=self.cfg.max_new_frames,
+        )
+        self.labeler = Labeler(reference, self.species, cell)
+        self.trainer = IncrementalTrainer(
+            ensemble,
+            kalman_cfg=kalman_cfg,
+            batch_size=self.cfg.batch_size,
+            epochs_per_round=self.cfg.epochs_per_round,
+            seed=seed,
+        )
+        self.history: list[RoundStats] = []
         #: DP-GEN warm start: without initial labeled data the untrained
         #: surrogate drives exploration into unphysical regions and the
         #: loop bootstraps on garbage labels
-        self.labeled: Dataset | None = initial_data
-        self.history: list[RoundStats] = []
         if initial_data is not None:
-            self._train_round(seed_offset=-1)
+            self.trainer.accumulate(initial_data)
+            self.trainer.train_round(seed_offset=-1)
 
-    def _train_round(self, seed_offset: int) -> None:
-        for model, opt in zip(self.ensemble.models, self.optimizers):
-            Trainer(
-                model, opt, self.labeled, None,
-                batch_size=self.cfg.batch_size,
-                seed=seed_offset + 1,
-            ).run(max_epochs=self.cfg.epochs_per_round)
+    # -- stage state, re-exported for inspection -----------------------
+    @property
+    def scorer(self) -> InferenceSession:
+        """The select-phase session (ensemble committee by default)."""
+        return self.gate.scorer
 
-    # ------------------------------------------------------------------
-    def _explore(self, start: np.ndarray, temperature: float) -> np.ndarray:
-        """MD with the surrogate; returns candidate frames (C, N, 3)."""
-        calc = DeePMDCalculator(self.ensemble.models[0], self.species)
-        integ = LangevinIntegrator(
-            calc, self.masses, self.cell,
-            timestep=self.cfg.timestep_fs, temperature=temperature,
-            friction=self.cfg.friction, rng=self._rng,
-        )
-        state = integ.initialize(start, temp=temperature)
-        frames = []
-        for _ in range(self.cfg.md_steps // self.cfg.sample_every):
-            state = integ.run(state, self.cfg.sample_every)
-            frames.append(state.positions.copy())
-        return np.stack(frames)
+    @scorer.setter
+    def scorer(self, session: InferenceSession) -> None:
+        self.gate.scorer = session
 
-    def _select(self, frames: np.ndarray) -> tuple[np.ndarray, float]:
-        preds = self.scorer.predict_many(frames, self.species, self.cell)
-        devs = np.array([p.max_force_dev for p in preds], dtype=np.float64)
-        keep = (devs > self.cfg.select_lo) & (devs < self.cfg.select_hi)
-        chosen = np.where(keep)[0]
-        if len(chosen) > self.cfg.max_new_frames:
-            order = np.argsort(-devs[chosen])
-            chosen = chosen[order[: self.cfg.max_new_frames]]
-        return frames[chosen], float(devs.mean())
+    @property
+    def reference(self) -> Potential:
+        return self.labeler.reference
 
-    def _label(self, frames: np.ndarray, temperature: float) -> Dataset:
-        energies = np.empty(len(frames))
-        forces = np.empty_like(frames)
-        for t, pos in enumerate(frames):
-            energies[t], forces[t] = self.reference.energy_forces(pos, self.cell)
-        return Dataset(
-            name="active",
-            positions=frames,
-            energies=energies,
-            forces=forces,
-            species=self.species,
-            cell=self.cell,
-            temperatures=np.full(len(frames), temperature),
-        )
+    @property
+    def optimizers(self) -> list:
+        """The persistent per-member FEKF filters."""
+        return self.trainer.optimizers
 
-    def _accumulate(self, new: Dataset) -> None:
-        if self.labeled is None:
-            self.labeled = new
-            return
-        old = self.labeled
-        self.labeled = Dataset(
-            name="active",
-            positions=np.concatenate([old.positions, new.positions]),
-            energies=np.concatenate([old.energies, new.energies]),
-            forces=np.concatenate([old.forces, new.forces]),
-            species=old.species,
-            cell=old.cell,
-            temperatures=np.concatenate([old.temperatures, new.temperatures]),
-        )
+    @property
+    def labeled(self) -> Dataset | None:
+        """The accumulated labeled pool."""
+        return self.trainer.labeled
+
+    @labeled.setter
+    def labeled(self, dataset: Dataset | None) -> None:
+        self.trainer.labeled = dataset
 
     # ------------------------------------------------------------------
     def run_round(self, start: np.ndarray, temperature: float) -> RoundStats:
         """One explore/select/label/train round starting from ``start``."""
-        candidates = self._explore(start, temperature)
-        selected, mean_dev = self._select(candidates)
-        t0 = time.perf_counter()
-        if len(selected):
-            self._accumulate(self._label(selected, temperature))
-        if self.labeled is not None and self.labeled.n_frames >= self.cfg.batch_size:
-            self._train_round(seed_offset=len(self.history))
-        train_seconds = time.perf_counter() - t0
+        ambient = current_tracer()
+        tracer = Tracer(keep_events=True)
+        index = len(self.history) + 1
+        with tracer:
+            with tracer.span("active.explore", round=index):
+                candidates = self.explorer.explore(start, temperature)
+            with tracer.span("active.select", round=index):
+                decision = self.gate.select(candidates)
+            if decision.n_selected:
+                with tracer.span("active.label", round=index):
+                    self.trainer.accumulate(
+                        self.labeler.label(decision.selected, temperature)
+                    )
+            if self.trainer.ready:
+                with tracer.span("active.train", round=index):
+                    self.trainer.train_round(seed_offset=len(self.history))
+        # label+train wall time, read off the round's own spans
+        train_seconds = sum(
+            e.wall_s
+            for e in tracer.events
+            if e.name in ("active.label", "active.train")
+        )
+        if ambient is not None:
+            ambient.adopt(tracer)
         rmse = (
             self.ensemble.models[0]
             .evaluate_rmse(self.labeled, max_frames=16)["total_rmse"]
@@ -204,11 +205,11 @@ class ActiveLearner:
             else float("nan")
         )
         stats = RoundStats(
-            round_index=len(self.history) + 1,
+            round_index=index,
             temperature=float(temperature),
-            n_candidates=len(candidates),
-            n_selected=len(selected),
-            mean_deviation=mean_dev,
+            n_candidates=decision.n_candidates,
+            n_selected=decision.n_selected,
+            mean_deviation=decision.mean_deviation,
             train_seconds=train_seconds,
             rmse_after=rmse,
         )

@@ -1,0 +1,44 @@
+"""Shared setup for the online closed-loop tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import SYSTEMS
+from repro.model import ModelEnsemble
+from repro.online import OnlineConfig, OnlineLearner
+
+
+@pytest.fixture(scope="module")
+def split(cu_dataset):
+    return cu_dataset.split(0.75, seed=0)
+
+
+@pytest.fixture()
+def make_learner(cu_dataset, small_cfg, split):
+    """Factory for small, fast closed-loop learners (auto-closed)."""
+    created = []
+
+    def factory(seed: int = 0, **overrides) -> OnlineLearner:
+        train, test = split
+        ensemble = ModelEnsemble.for_dataset(train, small_cfg, n_models=2, seed=1)
+        spec = SYSTEMS["Cu"]
+        _, _, _, potential = spec.build("small")
+        cfg = OnlineConfig(
+            md_steps=20, sample_every=10, epochs_per_round=1,
+            batch_size=4, max_new_frames=4, select_lo=0.0,
+            target_swaps=1, max_segments=8, eval_frames=8,
+        )
+        for key, value in overrides.items():
+            setattr(cfg, key, value)
+        learner = OnlineLearner(
+            ensemble, potential, cu_dataset.species,
+            spec.masses(cu_dataset.species), cu_dataset.cell,
+            cfg=cfg, initial_data=train, holdout=test, seed=seed,
+        )
+        created.append(learner)
+        return learner
+
+    yield factory
+    for learner in created:
+        learner.close()

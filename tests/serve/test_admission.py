@@ -1,0 +1,153 @@
+"""The shared admission-control primitives (repro.serve.admission)."""
+
+import threading
+
+import pytest
+
+from repro.serve import (
+    AdmissionController,
+    BoundedWorkQueue,
+    QueueClosed,
+    ServeOverloaded,
+)
+
+
+class TestAdmissionController:
+    def test_admits_below_limit(self):
+        ctrl = AdmissionController(2)
+        assert ctrl.admits(0)
+        assert ctrl.admits(1)
+        assert not ctrl.admits(2)
+        assert not ctrl.admits(3)
+
+    def test_check_raises_at_capacity(self):
+        ctrl = AdmissionController(1, name="test queue")
+        ctrl.check(0)
+        with pytest.raises(ServeOverloaded, match="test queue"):
+            ctrl.check(1)
+
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+
+
+class TestBoundedWorkQueue:
+    def test_fifo_order(self):
+        q = BoundedWorkQueue(4)
+        for x in "abc":
+            assert q.put(x)
+        assert [q.get(), q.get(), q.get()] == ["a", "b", "c"]
+
+    def test_block_policy_times_out_when_full(self):
+        q = BoundedWorkQueue(1, policy="block")
+        assert q.put("x")
+        assert not q.put("y", timeout=0.1)
+        assert len(q) == 1
+
+    def test_block_policy_respects_stop_event(self):
+        q = BoundedWorkQueue(1, policy="block")
+        q.put("x")
+        stop = threading.Event()
+        stop.set()
+        assert not q.put("y", stop=stop)
+
+    def test_block_policy_applies_backpressure(self):
+        q = BoundedWorkQueue(1, policy="block")
+        q.put("first")
+        admitted = threading.Event()
+
+        def producer():
+            q.put("second", timeout=5.0)
+            admitted.set()
+
+        t = threading.Thread(target=producer, daemon=True)
+        t.start()
+        assert not admitted.wait(timeout=0.15)  # stuck until a consumer
+        assert q.get() == "first"
+        assert admitted.wait(timeout=5.0)
+        t.join()
+        assert q.get() == "second"
+
+    def test_reject_policy_raises(self):
+        q = BoundedWorkQueue(1, policy="reject", name="gate feed")
+        q.put("x")
+        with pytest.raises(ServeOverloaded, match="gate feed"):
+            q.put("y")
+        assert q.stats()["rejected"] == 1
+
+    def test_drop_oldest_policy_evicts_head(self):
+        q = BoundedWorkQueue(2, policy="drop_oldest")
+        q.put("a")
+        q.put("b")
+        q.put("c")
+        assert [q.get(), q.get()] == ["b", "c"]
+        assert q.stats()["dropped"] == 1
+
+    def test_put_after_close_raises(self):
+        q = BoundedWorkQueue(2)
+        q.put("x")
+        q.close()
+        with pytest.raises(QueueClosed):
+            q.put("y")
+
+    def test_get_drains_then_none_after_close(self):
+        q = BoundedWorkQueue(2)
+        q.put("x")
+        q.close()
+        assert not q.drained()
+        assert q.get() == "x"
+        assert q.get() is None
+        assert q.drained()
+
+    def test_get_timeout_on_empty_open_queue(self):
+        q = BoundedWorkQueue(2)
+        assert q.get(timeout=0.1) is None
+        assert not q.drained()
+
+    def test_iteration_ends_at_close(self):
+        q = BoundedWorkQueue(4)
+        for x in range(3):
+            q.put(x)
+        q.close()
+        assert list(q) == [0, 1, 2]
+
+    def test_producer_consumer_pipeline(self):
+        """A bounded queue between two threads moves every item exactly
+        once, in order, under capacity pressure."""
+        q = BoundedWorkQueue(2)
+        items = list(range(50))
+        received = []
+
+        def producer():
+            for x in items:
+                assert q.put(x, timeout=10.0)
+            q.close()
+
+        def consumer():
+            for x in q:
+                received.append(x)
+
+        threads = [
+            threading.Thread(target=producer, daemon=True),
+            threading.Thread(target=consumer, daemon=True),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert received == items
+        stats = q.stats()
+        assert stats["put"] == stats["got"] == 50
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedWorkQueue(2, policy="spill")
+
+    def test_service_exceptions_are_shared(self):
+        """The service raises the same classes the queues do (one
+        exception family across the serve layer)."""
+        from repro.serve import service as service_mod
+        from repro.serve import admission as admission_mod
+
+        assert service_mod.ServeOverloaded is admission_mod.ServeOverloaded
+        assert service_mod.ServiceStopped is admission_mod.ServiceStopped

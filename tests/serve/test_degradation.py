@@ -67,6 +67,12 @@ class TestBackpressure:
                 )
                 t.start()
                 background.append(t)
+                if k == 0:  # the batcher must collect the first request
+                    # before the fillers enqueue, or a *filler* rejects
+                    assert _wait_until(
+                        lambda: svc.stats()["requests"] >= 1
+                        and svc.stats()["queue_depth"] == 0
+                    ), "batcher never collected the gated request"
             assert _wait_until(
                 lambda: svc.stats()["queue_depth"] >= cfg.max_queue
             ), "queue never filled"
