@@ -84,6 +84,14 @@ def main(argv: list[str] | None = None) -> int:
         help="exploration-segment budget for the closed loop (online)",
     )
     parser.add_argument(
+        "--health-out", default=None, dest="health_out", metavar="PATH",
+        help="attach the runtime health monitor: stream health snapshots "
+        "and SLO alerts to this JSONL (watch live with 'python -m "
+        "repro.telemetry.monitor PATH --follow') and write a "
+        "BENCH_monitor.json manifest into --bench-dir "
+        "(serve-bench, online)",
+    )
+    parser.add_argument(
         "--trace-out",
         default=os.environ.get("REPRO_TRACE_OUT") or None,
         metavar="PATH",
@@ -129,7 +137,7 @@ def main(argv: list[str] | None = None) -> int:
                 for opt in (
                     "clients", "requests", "max_batch", "max_delay_ms",
                     "serve_executor", "serve_workers", "bench_dir",
-                    "swaps", "max_segments",
+                    "swaps", "max_segments", "health_out",
                 ):
                     value = getattr(args, opt)
                     if opt in sig.parameters and value is not None:

@@ -33,7 +33,13 @@ from ..data.systems import SYSTEMS
 from ..model.ensemble import ModelEnsemble
 from ..online import OnlineConfig, OnlineLearner
 from ..serve import ServeError
-from .common import Report, experiment_setup, fast_kalman, parse_systems
+from .common import (
+    Report,
+    experiment_setup,
+    fast_kalman,
+    health_monitor,
+    parse_systems,
+)
 from .manifest import write_manifest
 
 
@@ -95,12 +101,15 @@ def run(
     clients: int = 2,
     bench_dir: str = "repro.bench",
     seed: int = 0,
+    health_out=None,
 ) -> Report:
     """Run the closed loop until ``swaps`` live promotions succeeded.
 
     ``max_segments`` bounds exploration (the loop also stops when the
     budget runs out); ``clients`` threads keep external traffic on the
-    service for the whole run.
+    service for the whole run.  ``health_out`` attaches the runtime
+    health monitor: snapshots/alerts stream to that JSONL and a
+    ``BENCH_monitor.json`` manifest lands in ``bench_dir``.
     """
     report = Report(
         experiment="online",
@@ -151,13 +160,30 @@ def run(
             initial_rmse = ensemble.evaluate_rmse(
                 setup.test, max_frames=cfg.eval_frames
             )["force_rmse"]
-            with _ClientTraffic(
-                learner.service, pool, species, cell, clients
-            ) as traffic:
-                result = learner.run(
-                    setup.train.positions[0], temperature=400.0
-                )
+            with health_monitor(
+                health_out,
+                service=learner.service,
+                learner=learner,
+                bench_dir=bench_dir,
+            ) as mon:
+                with _ClientTraffic(
+                    learner.service, pool, species, cell, clients
+                ) as traffic:
+                    result = learner.run(
+                        setup.train.positions[0], temperature=400.0
+                    )
             stats = learner.service.stats()
+        if mon is not None:
+            msum = mon.summary()
+            metrics[f"{system}.monitor"] = {
+                "snapshots": msum["snapshots"],
+                "breach_alerts": msum["breach_alerts"],
+                "warn_alerts": msum["warn_alerts"],
+            }
+            report.notes.append(
+                f"{system}: health monitor took {msum['snapshots']} snapshots, "
+                f"{msum['breach_alerts']} breach alert(s)"
+            )
         ledger = result.ledger
         report.add_row(system, "offline warm start", 0.0, initial_rmse, 0, 0, 0)
         for s in result.swaps:

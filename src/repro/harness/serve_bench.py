@@ -29,7 +29,7 @@ import numpy as np
 
 from ..model.session import ModelSession
 from ..serve import InferenceService, ServeConfig, ServeError
-from .common import Report, experiment_setup, parse_systems
+from .common import Report, experiment_setup, health_monitor, parse_systems
 from .manifest import write_manifest
 
 
@@ -71,6 +71,7 @@ def run(
     serve_workers: int = 1,
     bench_dir: str = "repro.bench",
     seed: int = 0,
+    health_out=None,
 ) -> Report:
     """Benchmark batched serving against the serial baseline.
 
@@ -78,6 +79,9 @@ def run(
     multiple); each client cycles through a shared frame pool smaller
     than its request count, so repeat frames exercise the caches the way
     rejected MC moves and committee queries do in production.
+    ``health_out`` attaches the runtime health monitor to the *batched*
+    mode (snapshots/alerts to that JSONL, ``BENCH_monitor.json`` into
+    ``bench_dir``).
     """
     report = Report(
         experiment="serve-bench",
@@ -126,9 +130,21 @@ def run(
         walls: dict = {}
         for mode, cfg in modes.items():
             with InferenceService(ModelSession(model), cfg) as svc:
-                wall, errors = _drive(
-                    svc, pool, ds.species, ds.cell, clients, per_client
-                )
+                with health_monitor(
+                    health_out if mode == "batched" else None,
+                    service=svc,
+                    bench_dir=bench_dir,
+                ) as mon:
+                    wall, errors = _drive(
+                        svc, pool, ds.species, ds.cell, clients, per_client
+                    )
+                if mon is not None:
+                    msum = mon.summary()
+                    metrics[f"{system}.monitor"] = {
+                        "snapshots": msum["snapshots"],
+                        "breach_alerts": msum["breach_alerts"],
+                        "warn_alerts": msum["warn_alerts"],
+                    }
                 stats = svc.stats()
             walls[mode] = wall
             throughput = total / wall if wall > 0 else 0.0

@@ -47,6 +47,7 @@ from ..md.potentials import Potential
 from ..optim.base import load_ensemble_state, save_ensemble_state
 from ..optim.kalman import KalmanConfig
 from ..serve import BoundedWorkQueue, InferenceService, ServeConfig, ServeError
+from ..telemetry.monitor import HeartbeatRegistry
 from ..telemetry.trace import Tracer, current_tracer, span as _span
 from .ledger import LabelLedger, SwapRecord
 from .stages import Explorer, IncrementalTrainer, Labeler, UncertaintyGate
@@ -205,6 +206,13 @@ class OnlineLearner:
         self._walker_mailbox: Optional[dict] = None
         self._trainer_error: Optional[BaseException] = None
 
+        # health plane: per-stage liveness beacons plus the live queue
+        # handles / progress clock that health() reports on
+        self.heartbeats = HeartbeatRegistry()
+        self._queues: tuple = ()
+        self._best_rmse = float("inf")
+        self._progress_t: Optional[float] = None
+
         if initial_data is not None:
             self.trainer.accumulate(initial_data)
             self.trainer.train_round(seed_offset=-1)
@@ -256,15 +264,18 @@ class OnlineLearner:
         self.service.start()
         if not np.isfinite(self.served_rmse):
             self.served_rmse = self._holdout_rmse()
+        self._best_rmse = min(self._best_rmse, self.served_rmse)
         self._stop.clear()
         self._trainer_error = None
         self._t0 = time.perf_counter()
+        self._progress_t = time.monotonic()
         swaps_before = len(self.swaps)
 
         cap = self.cfg.queue_capacity
         cand_q = BoundedWorkQueue(cap, name="online candidates")
         label_q = BoundedWorkQueue(cap, name="online label queue")
         train_q = BoundedWorkQueue(cap, name="online train queue")
+        self._queues = (cand_q, label_q, train_q)
 
         ambient = current_tracer()
         stages = [
@@ -278,9 +289,13 @@ class OnlineLearner:
             tracer = Tracer(keep_events=True) if ambient is not None else None
             tracers.append((name, tracer))
             t = threading.Thread(
-                target=self._stage_main, args=(tracer, body, args),
+                target=self._stage_main,
+                args=(f"online-{name}", tracer, body, args),
                 name=f"online-{name}", daemon=True,
             )
+            # register before start so a stage that dies instantly is
+            # still seen (dead thread, not an unknown name)
+            self.heartbeats.register(f"online-{name}", thread=t)
             threads.append(t)
             t.start()
         for t in threads:
@@ -302,18 +317,22 @@ class OnlineLearner:
     # ------------------------------------------------------------------
     # stage thread bodies
     # ------------------------------------------------------------------
-    @staticmethod
-    def _stage_main(tracer: Optional[Tracer], body, args) -> None:
-        if tracer is None:
-            body(*args)
-            return
-        with tracer:
-            body(*args)
+    def _stage_main(self, name: str, tracer: Optional[Tracer], body, args) -> None:
+        try:
+            if tracer is None:
+                body(*args)
+            else:
+                with tracer:
+                    body(*args)
+        finally:
+            # clean exit: a joined stage thread is not a corpse
+            self.heartbeats.done(name)
 
     def _explore_loop(self, cand_q: BoundedWorkQueue, budget: int, temp: float) -> None:
         try:
             pos = self._start_pos
             for _ in range(budget):
+                self.heartbeats.beat("online-explore")
                 if self._stop.is_set():
                     break
                 with self._walker_lock:
@@ -328,6 +347,7 @@ class OnlineLearner:
                 self._start_pos = pos
                 self.segments += 1
                 while not self._stop.is_set():
+                    self.heartbeats.beat("online-explore")
                     if cand_q.put(frames, timeout=_POLL_S, stop=self._stop):
                         break
         finally:
@@ -335,7 +355,7 @@ class OnlineLearner:
 
     def _gate_loop(self, cand_q: BoundedWorkQueue, label_q: BoundedWorkQueue) -> None:
         try:
-            for frames in self._drain(cand_q):
+            for frames in self._drain(cand_q, "online-gate"):
                 try:
                     with _span("online.gate", candidates=len(frames)):
                         decision = self.gate.select(frames)
@@ -345,7 +365,7 @@ class OnlineLearner:
                 self.ledger.record_gate(decision)
                 if decision.n_selected == 0:
                     continue
-                self._put(label_q, decision.selected)
+                self._put(label_q, decision.selected, "online-gate")
         finally:
             label_q.close()
 
@@ -353,11 +373,11 @@ class OnlineLearner:
         self, label_q: BoundedWorkQueue, train_q: BoundedWorkQueue, temp: float
     ) -> None:
         try:
-            for frames in self._drain(label_q):
+            for frames in self._drain(label_q, "online-label"):
                 with _span("online.label", frames=len(frames)):
                     labeled = self.labeler.label(frames, temp)
                 self.ledger.record_labels(labeled.n_frames)
-                self._put(train_q, labeled)
+                self._put(train_q, labeled, "online-label")
         finally:
             train_q.close()
 
@@ -365,7 +385,7 @@ class OnlineLearner:
         self, train_q: BoundedWorkQueue, target: Optional[int], swaps_before: int
     ) -> None:
         try:
-            for labeled in self._drain(train_q):
+            for labeled in self._drain(train_q, "online-train"):
                 self.trainer.accumulate(labeled)
                 if not self.trainer.ready:
                     continue
@@ -386,9 +406,11 @@ class OnlineLearner:
             self._stop.set()
 
     # ------------------------------------------------------------------
-    def _drain(self, q: BoundedWorkQueue):
+    def _drain(self, q: BoundedWorkQueue, name: Optional[str] = None):
         """Yield items until the queue is closed+empty or the loop stops."""
         while True:
+            if name is not None:
+                self.heartbeats.beat(name)
             item = q.get(timeout=_POLL_S, stop=self._stop)
             if item is not None:
                 yield item
@@ -396,8 +418,10 @@ class OnlineLearner:
             if self._stop.is_set() or q.drained():
                 return
 
-    def _put(self, q: BoundedWorkQueue, item) -> None:
+    def _put(self, q: BoundedWorkQueue, item, name: Optional[str] = None) -> None:
         while not self._stop.is_set():
+            if name is not None:
+                self.heartbeats.beat(name)
             if q.put(item, timeout=_POLL_S, stop=self._stop):
                 return
 
@@ -422,6 +446,8 @@ class OnlineLearner:
         with self._walker_lock:
             self._walker_mailbox = state[0]
         self.served_rmse = rmse
+        self._best_rmse = min(self._best_rmse, rmse)
+        self._progress_t = time.monotonic()
         self.swaps.append(
             SwapRecord(
                 version=version,
@@ -431,6 +457,33 @@ class OnlineLearner:
                 round_index=self.trained_rounds,
             )
         )
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Live health sample for the runtime monitor.
+
+        The stock online SLO rules
+        (:func:`repro.telemetry.monitor.default_online_rules`) read the
+        stage heartbeats (stall/dead-thread watchdog), the served-vs-best
+        RMSE pair (non-regression: the promotion gate makes regressions
+        impossible, so any positive delta is a real bug), and the swap
+        staleness clock (seconds since the last promotion or run start).
+        """
+        return {
+            "segments": self.segments,
+            "trained_rounds": self.trained_rounds,
+            "swaps": len(self.swaps),
+            "served_rmse": self.served_rmse,
+            "best_rmse": self._best_rmse,
+            "swap_age_s": (
+                None if self._progress_t is None
+                else time.monotonic() - self._progress_t
+            ),
+            "queues": {q.name: q.stats() for q in self._queues},
+            "heartbeats": self.heartbeats.ages(),
+        }
 
     # ------------------------------------------------------------------
     # checkpoint / resume

@@ -107,6 +107,10 @@ class WorkerTelemetry:
     #: ``OpEvent.as_dict()`` payloads from a worker-local profiler
     #: (empty unless the parent asked for ``capture="profile"``)
     ops: list = field(default_factory=list)
+    #: ``{name: Histogram.as_dict()}`` distributions observed locally
+    #: (e.g. per-task latency); the parent folds them in losslessly via
+    #: :meth:`repro.telemetry.MetricRegistry.merge_histograms`
+    histograms: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -119,16 +123,30 @@ class TaskResult:
 
 @dataclass
 class FaultInjector:
-    """Picklable test hook: fail ``method`` for its next ``times`` calls."""
+    """Picklable test hook: degrade ``method`` for its next ``times`` calls.
+
+    The default is a hard failure (``raises=True``); ``stall_s`` sleeps
+    inside the task first, and with ``raises=False`` the task then
+    *succeeds slowly* -- a wedged-but-alive worker, which is what the
+    watchdog / latency-SLO tests need to provoke (a crash is caught by
+    the executor's heal path long before any deadline fires).
+    """
 
     method: str
     times: int = 1
     message: str = "injected worker fault"
+    #: seconds to block inside the targeted task before (maybe) raising
+    stall_s: float = 0.0
+    #: when False the fault only stalls -- no exception
+    raises: bool = True
 
     def check(self, method: str, rank: int) -> None:
         if self.times > 0 and method == self.method:
             self.times -= 1
-            raise RuntimeError(f"{self.message} (rank {rank}, {method})")
+            if self.stall_s > 0.0:
+                time.sleep(self.stall_s)
+            if self.raises:
+                raise RuntimeError(f"{self.message} (rank {rank}, {method})")
 
 
 #: methods dispatchable through :meth:`GradientWorker.run`

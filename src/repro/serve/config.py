@@ -42,6 +42,13 @@ class ServeConfig:
     cache_capacity: int = 256
     #: use the fused Opt1 descriptor kernel in workers and fallback path
     fused_env: bool = True
+    #: extent of the sliding latency/error windows the health monitor
+    #: reads (``InferenceService.health()``)
+    window_s: float = 30.0
+    #: batcher heartbeat deadline -- a beat older than this marks the
+    #: batcher stalled (it wakes at least every 50 ms when healthy, so
+    #: the default only fires on a genuinely wedged batch)
+    heartbeat_deadline_s: float = 5.0
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -56,3 +63,7 @@ class ServeConfig:
             raise ValueError("world_size must be >= 1")
         if self.cache_capacity < 1:
             raise ValueError("cache_capacity must be >= 1")
+        if self.window_s <= 0.0:
+            raise ValueError("window_s must be > 0")
+        if self.heartbeat_deadline_s <= 0.0:
+            raise ValueError("heartbeat_deadline_s must be > 0")

@@ -63,6 +63,7 @@ from ..model.session import (
 from ..parallel.executor import Executor, WorkerCrash, make_executor
 from ..telemetry import metrics as _metrics
 from ..telemetry.metrics import Histogram
+from ..telemetry.monitor import HeartbeatRegistry, SlidingHistogram, WindowedRate
 from ..telemetry.trace import Tracer, current_tracer, span as _span
 from .admission import (
     AdmissionController,
@@ -147,6 +148,14 @@ class InferenceService(InferenceSession):
         #: per-instance stats)
         self._latency = Histogram()
         self._occupancy = Histogram()
+        #: live view for the health plane: latency / throughput / errors
+        #: over the last ``config.window_s`` seconds, plus per-rank task
+        #: times folded home from worker telemetry
+        self._latency_window = SlidingHistogram(window_s=self.config.window_s)
+        self._traffic = WindowedRate(window_s=self.config.window_s)
+        self._worker_window = SlidingHistogram(window_s=self.config.window_s)
+        #: batcher liveness beacon (a HealthMonitor source via health())
+        self.heartbeats = HeartbeatRegistry()
         self._counts = {
             "requests": 0, "responses": 0, "batches": 0, "cache_hits": 0,
             "timeouts": 0, "rejected": 0, "fallbacks": 0,
@@ -205,6 +214,14 @@ class InferenceService(InferenceSession):
             target=self._serve_loop, name="serve-batcher", daemon=True
         )
         self._thread.start()
+        # watchdog: the batcher beats every collect iteration (<=50ms idle
+        # wait), so a beat older than the deadline means a wedged batch --
+        # a stalled worker, not an idle queue
+        self.heartbeats.register(
+            "serve-batcher",
+            deadline_s=self.config.heartbeat_deadline_s,
+            thread=self._thread,
+        )
         self._started = True
         return self
 
@@ -297,6 +314,7 @@ class InferenceService(InferenceSession):
             if not self._admission.admits(len(self._queue)):
                 self._counts["rejected"] += 1
                 _metrics.REGISTRY.counter("serve.rejected").inc()
+                self._traffic.mark(errors=1.0)
                 self._admission.check(len(self._queue))  # raises ServeOverloaded
             group_key = (
                 positions.shape[0],
@@ -317,6 +335,7 @@ class InferenceService(InferenceSession):
             if not req.event.is_set():
                 self._counts["timeouts"] += 1
                 _metrics.REGISTRY.counter("serve.timeouts").inc()
+                self._traffic.mark(errors=1.0)
                 raise ServeTimeout(
                     f"request expired after {self.config.request_timeout_s}s"
                 )
@@ -383,6 +402,7 @@ class InferenceService(InferenceSession):
                 tracer.__exit__(None, None, None)
                 self._loop_tracer = tracer
             self._fail_remaining()
+            self.heartbeats.done("serve-batcher")
 
     def _collect(self) -> Optional[list[_Request]]:
         """Block until a flush trigger fires; returns one compatible
@@ -390,6 +410,9 @@ class InferenceService(InferenceSession):
         cfg = self.config
         with self._cond:
             while True:
+                # idle waiting is healthy: the beat lands every wakeup
+                # (<=50ms), so only a wedge *inside* batch work stalls it
+                self.heartbeats.beat("serve-batcher")
                 if self._stopping and not self._drain:
                     return None  # _fail_remaining rejects whatever is queued
                 self._queue = [r for r in self._queue if not r.cancelled]
@@ -401,6 +424,7 @@ class InferenceService(InferenceSession):
             head = self._queue[0]
             flush_at = time.monotonic() + cfg.max_delay_s
             while True:
+                self.heartbeats.beat("serve-batcher")
                 group = [
                     r for r in self._queue
                     if not r.cancelled and r.group_key == head.group_key
@@ -533,6 +557,8 @@ class InferenceService(InferenceSession):
                 req.event.set()
             latency = now - req.t_submit
             self._latency.observe(latency)
+            self._latency_window.observe(latency)
+            self._traffic.mark()
             _metrics.REGISTRY.histogram("serve.latency_s").observe(latency)
 
     def _fail_remaining(self) -> None:
@@ -548,6 +574,12 @@ class InferenceService(InferenceSession):
     # ------------------------------------------------------------------
     def _merge_worker_telemetry(self, t) -> None:
         _metrics.REGISTRY.merge_counters(t.counters, rank=t.rank)
+        hists = getattr(t, "histograms", None)
+        if hists:
+            _metrics.REGISTRY.merge_histograms(hists, rank=t.rank)
+            task = hists.get("serve.worker_task_s")
+            if task is not None:
+                self._worker_window.merge(task)
         tracer = current_tracer()  # the batcher's loop tracer
         if tracer is None:
             return
@@ -581,3 +613,41 @@ class InferenceService(InferenceSession):
             "neighbor_cache": self._neighbor_cache.stats(),
             "prediction_cache": self._prediction_cache.stats(),
         }
+
+    def health(self) -> dict:
+        """Live health sample for the runtime monitor.
+
+        Unlike :meth:`stats` (service-lifetime aggregates), everything
+        here is *windowed* over the last ``config.window_s`` seconds --
+        the shape the stock serve SLO rules
+        (:func:`repro.telemetry.monitor.default_serve_rules`) evaluate.
+        """
+        with self._cond:
+            depth = len(self._queue)
+        capacity = max(self.config.max_queue, 1)
+        return {
+            "started": self._started,
+            "model_version": self._session.model_version,
+            "latency": self._latency_window.summary(),
+            "worker_task": self._worker_window.summary(),
+            "traffic": self._traffic.summary(),
+            "queue_depth": depth,
+            "queue_capacity": capacity,
+            "queue_saturation": depth / capacity,
+            "heartbeats": self.heartbeats.ages(),
+        }
+
+    def inject_fault(self, rank: int, fault) -> None:
+        """Install a :class:`~repro.optim.worker.FaultInjector` on one
+        rank's worker (robustness / watchdog tests; mirrors the
+        data-parallel trainer's hook).  A ``stall_s`` fault with
+        ``raises=False`` wedges the rank -- and therefore the batcher --
+        without tripping the crash/heal path, which is exactly the
+        silent-hang mode the heartbeat SLO exists to catch."""
+        if self._executor is None:
+            raise RuntimeError("service has no worker pool (start it first)")
+        calls = [
+            ("set_fault", (fault if r == rank else None,))
+            for r in range(self._executor.world_size)
+        ]
+        self._executor.submit(calls)

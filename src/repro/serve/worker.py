@@ -28,6 +28,7 @@ from ..model.network import DeePMD
 from ..model.session import InferenceSession, ModelSession
 from ..model.ensemble import ModelEnsemble
 from ..optim.worker import FaultInjector, TaskResult, WorkerTelemetry
+from ..telemetry.metrics import Histogram
 from ..telemetry.trace import Tracer
 
 __all__ = ["PredictWorker", "PredictSpec", "SERVE_TASK_METHODS"]
@@ -106,14 +107,21 @@ class PredictWorker:
             payload = getattr(self, method)(*args)
             spans = []
             ops = []
+        wall = time.perf_counter() - t0
+        # per-task latency rides home as a mergeable histogram so the
+        # parent's registry and sliding windows keep true per-rank
+        # distributions, not just summed counters
+        task_hist = Histogram(max_samples=8)
+        task_hist.observe(wall)
         telemetry = WorkerTelemetry(
             rank=self.rank,
             pid=os.getpid(),
-            wall_s=time.perf_counter() - t0,
+            wall_s=wall,
             cpu_s=time.process_time() - c0,
             counters={"serve.worker_tasks": 1.0},
             spans=spans,
             ops=ops,
+            histograms={"serve.worker_task_s": task_hist.as_dict()},
         )
         return TaskResult(payload=payload, telemetry=telemetry)
 

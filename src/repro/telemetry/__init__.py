@@ -18,6 +18,12 @@ kernel-launch counter):
   primitive-op launch with FLOP/byte estimates, per-phase Figure 7(b)
   breakdowns, and Chrome trace-event export
   (:func:`write_chrome_trace`, loadable in Perfetto).
+* :mod:`monitor` -- the runtime health plane: sliding-window SLOs
+  (:class:`SlidingHistogram` p99s over the last N seconds), pipeline
+  watchdogs (:class:`HeartbeatRegistry`), and the
+  :class:`HealthMonitor` background sampler streaming health snapshots
+  and breach alerts over the JSONL exporter (live view:
+  ``python -m repro.telemetry.monitor``).
 
 Quick start::
 
@@ -32,8 +38,17 @@ Tracing is off by default and costs one global check per span, so
 instrumented code runs at full speed when nobody is watching.
 """
 
-from . import metrics, profile
+from . import metrics, monitor, profile
 from .export import JsonlExporter, format_table, read_jsonl, summarize
+from .monitor import (
+    HealthMonitor,
+    HealthSnapshot,
+    HeartbeatRegistry,
+    SLORule,
+    SLOStatus,
+    SlidingHistogram,
+    WindowedRate,
+)
 from .profile import (
     OpEvent,
     Profiler,
@@ -92,4 +107,12 @@ __all__ = [
     "to_chrome_trace",
     "write_chrome_trace",
     "validate_chrome_trace",
+    "monitor",
+    "HealthMonitor",
+    "HealthSnapshot",
+    "HeartbeatRegistry",
+    "SLORule",
+    "SLOStatus",
+    "SlidingHistogram",
+    "WindowedRate",
 ]

@@ -7,6 +7,9 @@ The JSONL schema (one JSON object per line):
   "counters": {...}}``
 * metric snapshots -- ``{"type": "metrics", "data": {"counters": {...},
   "gauges": {...}, "histograms": {...}}}``
+* health snapshots / SLO alerts -- ``{"type": "health", ...}`` and
+  ``{"type": "alert", ...}`` lines appended by the runtime monitor
+  (:mod:`repro.telemetry.monitor`) via :meth:`JsonlExporter.write_event`
 
 so a training run's full observable record is one append-only file that
 any later analysis (the Figure 7 queries, a dashboard, a diff between two
@@ -56,6 +59,13 @@ class JsonlExporter:
         self._fh.write(
             json.dumps({"type": "metrics", "data": registry.snapshot()}) + "\n"
         )
+
+    def write_event(self, event: dict) -> None:
+        """Append one arbitrary typed event line (health snapshots and SLO
+        alerts from :mod:`repro.telemetry.monitor` use this) and flush, so
+        a live dashboard tailing the file sees it immediately."""
+        self._fh.write(json.dumps(event, default=str) + "\n")
+        self._fh.flush()
 
     def flush(self) -> None:
         self._fh.flush()

@@ -68,7 +68,10 @@ class Histogram:
     """Streaming distribution: count/sum/min/max plus a bounded sample.
 
     The first ``max_samples`` observations are retained verbatim for
-    percentile queries; count/sum/min/max stay exact regardless.
+    percentile queries; count/sum/min/max stay exact regardless.  Two
+    histograms :meth:`merge` losslessly (within the reservoir cap), which
+    is how per-rank worker latency observations fold into the parent
+    registry and into the monitor's sliding windows.
     """
 
     __slots__ = ("count", "total", "min", "max", "samples", "max_samples")
@@ -96,13 +99,64 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    @property
+    def capped(self) -> bool:
+        """True when the percentile reservoir dropped observations (the
+        exact count/sum/min/max still cover every one)."""
+        return self.count > len(self.samples)
+
     def percentile(self, q: float) -> float:
-        """Approximate q-th percentile (q in [0, 100]) from the sample."""
-        if not self.samples:
+        """Approximate q-th percentile (q in [0, 100]) from the sample.
+
+        An empty histogram reports 0.0.  ``q <= 0`` and ``q >= 100``
+        return the *exact* min/max (tracked for every observation), so
+        the tails stay truthful even when the reservoir is capped;
+        intermediate quantiles use nearest-rank over the sample.
+        """
+        if self.count == 0:
+            return 0.0
+        if q <= 0.0:
+            return self.min
+        if q >= 100.0:
+            return self.max
+        if not self.samples:  # merged from a summary-only source
             return 0.0
         s = sorted(self.samples)
         idx = min(int(round(q / 100.0 * (len(s) - 1))), len(s) - 1)
         return s[idx]
+
+    def merge(self, other: "Histogram | dict") -> "Histogram":
+        """Fold another histogram (or its :meth:`as_dict` form, e.g. one
+        shipped home by a rank worker) into this one.  Exact aggregates
+        (count/sum/min/max) merge losslessly; samples merge up to this
+        histogram's reservoir cap, flagging :attr:`capped` if truncated.
+        """
+        if isinstance(other, Histogram):
+            other = other.as_dict()
+        count = int(other.get("count", 0))
+        if count == 0:
+            return self
+        self.count += count
+        self.total += float(other.get("sum", 0.0))
+        self.min = min(self.min, float(other.get("min", math.inf)))
+        self.max = max(self.max, float(other.get("max", -math.inf)))
+        room = self.max_samples - len(self.samples)
+        if room > 0:
+            self.samples.extend(
+                float(v) for v in list(other.get("samples", ()))[:room]
+            )
+        return self
+
+    def as_dict(self) -> dict:
+        """Picklable/JSON-ready full state (inverse-mergeable): the exact
+        aggregates plus the raw sample reservoir."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "samples": list(self.samples),
+        }
 
     def summary(self) -> dict:
         return {
@@ -113,6 +167,8 @@ class Histogram:
             "mean": self.mean,
             "p50": self.percentile(50),
             "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "capped": self.capped,
         }
 
 
@@ -163,6 +219,14 @@ class MetricRegistry:
         locally and the parent aggregates into one process-wide view)."""
         for name, amount in counts.items():
             self.counter(name, **labels).inc(float(amount))
+
+    def merge_histograms(self, hists: dict, **labels) -> None:
+        """Fold ``{name: Histogram-or-as_dict}`` into this registry's
+        histograms (mirror of :meth:`merge_counters`): per-rank latency
+        observations merge losslessly instead of being dropped on the
+        worker-telemetry path."""
+        for name, state in hists.items():
+            self.histogram(name, **labels).merge(state)
 
     # -- introspection -------------------------------------------------
     def snapshot(self) -> dict:

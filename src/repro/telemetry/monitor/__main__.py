@@ -1,0 +1,123 @@
+"""Live terminal dashboard over a health JSONL stream.
+
+Usage::
+
+    python -m repro.telemetry.monitor run.jsonl            # latest snapshot
+    python -m repro.telemetry.monitor run.jsonl --follow   # live refresh
+    python -m repro.telemetry.monitor --demo               # synthetic tour
+
+Reads the ``{"type": "health"}`` / ``{"type": "alert"}`` lines a
+:class:`~repro.telemetry.monitor.HealthMonitor` appends through its
+exporter, renders the newest snapshot as a status panel plus the alert
+timeline, and (with ``--follow``) re-reads the file every refresh so it
+tails a live run.  ``--demo`` renders a deterministic synthetic
+ok -> warn -> breach -> recovery sequence with no run attached (a
+smoke-testable tour of every dashboard state).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import HealthMonitor, SLORule, render, render_timeline
+from ..export import read_jsonl
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _split_events(events: list) -> tuple[list, list]:
+    snaps = [e for e in events if e.get("type") == "health"]
+    alerts = [e for e in events if e.get("type") == "alert"]
+    return snaps, alerts
+
+
+def _render_file(path: str, color: bool, width: int) -> str:
+    try:
+        events = read_jsonl(path)
+    except FileNotFoundError:
+        return f"(waiting for {path})"
+    snaps, alerts = _split_events(events)
+    if not snaps:
+        return f"({path}: no health snapshots yet)"
+    out = [render(snaps[-1], width=width, color=color)]
+    out.append(f" snapshots: {len(snaps)}   alerts: {len(alerts)}")
+    out.append(render_timeline(alerts, color=color))
+    return "\n".join(out)
+
+
+def _demo_snapshots() -> tuple[list, list]:
+    """Deterministic ok -> warn -> breach -> recovery sequence."""
+    # p99 profile over 12 ticks: healthy, degrading past warn (0.8*0.5)
+    # and breach (0.5), then recovering
+    p99s = [0.10, 0.12, 0.15, 0.30, 0.42, 0.55, 0.70, 0.62, 0.45, 0.30, 0.15, 0.10]
+    ticks = []
+    clock = iter(float(i) for i in range(len(p99s) + 1))
+    mon = HealthMonitor(interval_s=1.0, clock=lambda: next(clock))
+    state = {"p99": p99s[0]}
+    mon.add_source("serve", lambda: {
+        "latency": {"count": 200, "p50": state["p99"] / 3.0, "p99": state["p99"]},
+        "traffic": {"events": 200.0, "errors": 1.0, "rate_per_s": 40.0,
+                    "error_rate": 0.005, "ewma_per_s": 41.0, "window_s": 30.0},
+        "queue_depth": int(200 * state["p99"]), "queue_capacity": 256,
+        "heartbeats": {"serve-batcher": {
+            "age_s": 0.01, "beats": 1000, "deadline_s": None,
+            "alive": True, "done": False, "stalled": False}},
+    })
+    mon.add_rules(
+        SLORule("demo p99 latency", "p99_latency_s", 0.5),
+        SLORule("demo error rate", "error_rate", 0.05),
+        SLORule("demo queue saturation", "queue_saturation", 0.95),
+        SLORule("demo batcher heartbeat", "heartbeat_s", 5.0),
+    )
+    for p99 in p99s:
+        state["p99"] = p99
+        ticks.append(mon.poll_once().as_dict())
+    return ticks, list(mon.alerts)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.monitor",
+        description="render health snapshots / SLO alerts from a JSONL stream",
+    )
+    ap.add_argument("path", nargs="?", help="health JSONL file to render")
+    ap.add_argument("--follow", action="store_true",
+                    help="refresh continuously until interrupted")
+    ap.add_argument("--interval", type=float, default=1.0,
+                    help="refresh period with --follow (seconds)")
+    ap.add_argument("--no-color", action="store_true", help="plain ASCII output")
+    ap.add_argument("--width", type=int, default=78)
+    ap.add_argument("--demo", action="store_true",
+                    help="render a synthetic ok->warn->breach->recovery run")
+    args = ap.parse_args(argv)
+    color = not args.no_color
+
+    if args.demo:
+        snaps, alerts = _demo_snapshots()
+        for snap in snaps:
+            print(render(snap, width=args.width, color=color))
+        print("\n alert timeline:")
+        print(render_timeline(alerts, color=color))
+        return 0
+
+    if not args.path:
+        ap.error("a health JSONL path is required (or --demo)")
+
+    if not args.follow:
+        print(_render_file(args.path, color, args.width))
+        return 0
+
+    try:
+        while True:
+            frame = _render_file(args.path, color, args.width)
+            sys.stdout.write(_CLEAR + frame + "\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

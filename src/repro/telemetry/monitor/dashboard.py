@@ -1,0 +1,142 @@
+"""Terminal rendering for health snapshots and alert timelines.
+
+Pure functions from snapshot dicts to strings -- the CLI
+(``python -m repro.telemetry.monitor``) handles files and refresh loops,
+tests assert on the strings, and nothing here touches a clock.
+
+Colors are plain ANSI (green ok / yellow warn / red breach / dim
+no_data) and drop out entirely with ``color=False`` so CI logs and
+pipes stay clean.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["render", "render_timeline", "STATE_GLYPHS"]
+
+_RESET = "\x1b[0m"
+_COLORS = {
+    "ok": "\x1b[32m",        # green
+    "warn": "\x1b[33m",      # yellow
+    "breach": "\x1b[31;1m",  # bold red
+    "no_data": "\x1b[2m",    # dim
+}
+STATE_GLYPHS = {"ok": "+", "warn": "!", "breach": "x", "no_data": "."}
+
+
+def _paint(text: str, state: str, color: bool) -> str:
+    if not color:
+        return text
+    return f"{_COLORS.get(state, '')}{text}{_RESET}"
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value != value:  # NaN
+        return "nan"
+    if abs(value) >= 1000 or (0 < abs(value) < 0.001):
+        return f"{value:.3g}"
+    return f"{value:.4f}".rstrip("0").rstrip(".") or "0"
+
+
+def _snapshot_dict(snapshot) -> dict:
+    return snapshot if isinstance(snapshot, dict) else snapshot.as_dict()
+
+
+def render(snapshot, width: int = 78, color: bool = True) -> str:
+    """One snapshot as a boxed status panel.
+
+    Accepts a :class:`~.health.HealthSnapshot` or its ``as_dict`` form
+    (what a health JSONL line deserializes to).
+    """
+    d = _snapshot_dict(snapshot)
+    worst = d.get("worst", "ok")
+    lines = []
+    head = f" health @ t={d.get('t', 0.0):.1f}s  seq={d.get('seq', 0)} "
+    badge = _paint(f"[{worst.upper()}]", worst, color)
+    lines.append(f"={head}{'=' * max(1, width - len(head) - len(badge) - 9)} {badge}")
+
+    # SLO verdicts
+    for s in d.get("statuses", []):
+        state = s.get("state", "no_data")
+        glyph = _paint(STATE_GLYPHS.get(state, "?"), state, color)
+        name = s.get("rule", "?")[:32].ljust(32)
+        value = _fmt(s.get("value")).rjust(10)
+        thresh = _fmt(s.get("threshold")).rjust(10)
+        detail = s.get("detail", "")
+        row = f" {glyph} {name} {value} / {thresh}  {detail}"
+        lines.append(row[:width] if len(row) > width else row)
+
+    # per-source vitals, one compact line each
+    for name, sample in sorted(d.get("sources", {}).items()):
+        if not isinstance(sample, dict):
+            continue
+        bits = []
+        if "error" in sample:
+            bits.append(_paint(f"error={sample['error']}", "breach", color))
+        lat = sample.get("latency") or {}
+        if lat.get("count"):
+            bits.append(f"p50={_fmt(lat.get('p50'))}s p99={_fmt(lat.get('p99'))}s")
+        traffic = sample.get("traffic") or {}
+        if traffic.get("events"):
+            bits.append(
+                f"{_fmt(traffic.get('rate_per_s'))}/s"
+                f" err={_fmt(traffic.get('error_rate'))}"
+            )
+        queues = sample.get("queues") or {}
+        if queues:
+            depths = " ".join(
+                f"{q}:{int(v.get('depth', 0))}/{int(v.get('capacity', 0))}"
+                for q, v in sorted(queues.items())
+            )
+            bits.append(depths)
+        elif "queue_depth" in sample:
+            bits.append(
+                f"q:{int(sample['queue_depth'])}/{int(sample.get('queue_capacity', 0))}"
+            )
+        beats = sample.get("heartbeats") or {}
+        if beats:
+            stalled = [n for n, b in beats.items() if b.get("stalled")]
+            live = sum(
+                1 for b in beats.values() if not b.get("done") and b.get("alive")
+            )
+            hb = f"hb:{live}/{len(beats)}"
+            if stalled:
+                hb += _paint(f" stalled={','.join(sorted(stalled))}", "breach", color)
+            bits.append(hb)
+        if sample.get("swaps") is not None:
+            bits.append(
+                f"swaps={sample['swaps']}"
+                + (f" age={_fmt(sample.get('swap_age_s'))}s"
+                   if sample.get("swap_age_s") is not None else "")
+            )
+        if sample.get("served_rmse") is not None:
+            bits.append(f"rmse={_fmt(sample['served_rmse'])}")
+        if bits:
+            row = f"   {name:<8} " + "  ".join(bits)
+            lines.append(row)
+    lines.append("=" * width)
+    return "\n".join(lines)
+
+
+def render_timeline(alerts, color: bool = True, limit: int = 50) -> str:
+    """Alert events as a chronological timeline table (latest last)."""
+    alerts = list(alerts)[-limit:]
+    if not alerts:
+        return " (no alerts)"
+    lines = []
+    for a in alerts:
+        to = a.get("to", "ok")
+        arrow = f"{a.get('from', '?')} -> {to}"
+        stamp = f"t={a.get('t', 0.0):7.1f}s"
+        row = (
+            f" {stamp}  {_paint(arrow.ljust(16), to, color)} "
+            f"{a.get('rule', '?'):<34} value={_fmt(a.get('value'))}"
+        )
+        detail = a.get("detail")
+        if detail:
+            row += f"  ({detail})"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,291 @@
+"""Declarative SLO rules evaluated against health-source samples.
+
+A rule names a *kind* (what to read out of a source's health dict), a
+threshold, and the source it applies to.  Evaluation is pure -- rule +
+sample in, :class:`SLOStatus` out -- so the same rules run live in the
+:class:`~repro.telemetry.monitor.HealthMonitor`, replayed over a health
+JSONL file, and asserted in tests with synthetic samples.
+
+Kinds
+-----
+``p99_latency_s``
+    ``data["latency"]["p99"]`` (a windowed histogram summary) against
+    the threshold; ``min_count`` observations gate evaluation so a cold
+    window is ``no_data`` rather than a false positive.
+``error_rate``
+    ``data["traffic"]["error_rate"]`` (windowed failure fraction).
+``queue_saturation``
+    Worst ``depth/capacity`` over ``data["queues"]`` (or the flat
+    ``queue_depth``/``queue_capacity`` pair a service reports).
+``rmse_nonregression``
+    ``served_rmse - best_rmse``: the online promotion gate guarantees
+    the served error only improves, so any positive regression beyond
+    the threshold is a breach (a swap that made things worse).
+``swap_staleness_s``
+    ``data["swap_age_s"]``: seconds since the last live promotion (or
+    loop start) -- a stuck trainer stops swapping long before it stops
+    answering.
+``heartbeat_s``
+    Worst stage-heartbeat age over ``data["heartbeats"]`` (see
+    :mod:`.watchdog`); a dead thread or a per-entry deadline overrun is
+    an immediate breach regardless of the rule threshold.
+
+States: ``ok`` < ``warn`` (value past ``warn_ratio * threshold``) <
+``breach`` (past the threshold); ``no_data`` when the source sample
+cannot answer yet (never alerts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "KINDS",
+    "SLORule",
+    "SLOStatus",
+    "evaluate_rule",
+    "evaluate_rules",
+    "worst_state",
+    "default_serve_rules",
+    "default_online_rules",
+]
+
+KINDS = (
+    "p99_latency_s",
+    "error_rate",
+    "queue_saturation",
+    "rmse_nonregression",
+    "swap_staleness_s",
+    "heartbeat_s",
+)
+
+#: severity order used for "worst state" folds
+_SEVERITY = {"no_data": 0, "ok": 0, "warn": 1, "breach": 2}
+
+
+def worst_state(states) -> str:
+    """The most severe of an iterable of states (``ok`` when empty)."""
+    worst = "ok"
+    for s in states:
+        if _SEVERITY.get(s, 0) > _SEVERITY[worst]:
+            worst = s
+    return worst
+
+
+@dataclass(frozen=True)
+class SLORule:
+    """One service-level objective over one health source."""
+
+    #: display name, unique within a monitor (alert transitions key on it)
+    name: str
+    #: one of :data:`KINDS`
+    kind: str
+    #: breach boundary (seconds, fraction, or delta -- per kind)
+    threshold: float
+    #: health-source name this rule reads (see ``HealthMonitor.add_source``)
+    source: str = "serve"
+    #: warn once the value passes ``warn_ratio * threshold``
+    warn_ratio: float = 0.8
+    #: observations required before latency/error kinds evaluate
+    min_count: int = 1
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown SLO kind {self.kind!r}; one of {KINDS}")
+        if self.threshold < 0.0:
+            raise ValueError("threshold must be >= 0")
+        if not 0.0 <= self.warn_ratio <= 1.0:
+            raise ValueError("warn_ratio must be in [0, 1]")
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "threshold": self.threshold,
+            "source": self.source,
+            "warn_ratio": self.warn_ratio,
+            "min_count": self.min_count,
+        }
+
+
+@dataclass
+class SLOStatus:
+    """One rule's verdict on one snapshot."""
+
+    rule: str
+    kind: str
+    source: str
+    #: ``ok`` / ``warn`` / ``breach`` / ``no_data``
+    state: str
+    value: Optional[float]
+    threshold: float
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "kind": self.kind,
+            "source": self.source,
+            "state": self.state,
+            "value": self.value,
+            "threshold": self.threshold,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SLOStatus":
+        return cls(
+            rule=d["rule"], kind=d["kind"], source=d.get("source", ""),
+            state=d["state"], value=d.get("value"),
+            threshold=float(d.get("threshold", 0.0)),
+            detail=d.get("detail", ""),
+        )
+
+
+def _grade(rule: SLORule, value: float, detail: str = "") -> SLOStatus:
+    """Upper-bound grading shared by every kind."""
+    if value > rule.threshold:
+        state = "breach"
+    elif value > rule.warn_ratio * rule.threshold:
+        state = "warn"
+    else:
+        state = "ok"
+    return SLOStatus(
+        rule=rule.name, kind=rule.kind, source=rule.source,
+        state=state, value=value, threshold=rule.threshold, detail=detail,
+    )
+
+
+def _no_data(rule: SLORule, detail: str) -> SLOStatus:
+    return SLOStatus(
+        rule=rule.name, kind=rule.kind, source=rule.source,
+        state="no_data", value=None, threshold=rule.threshold, detail=detail,
+    )
+
+
+def evaluate_rule(rule: SLORule, data: Optional[dict]) -> SLOStatus:
+    """Evaluate one rule against one source sample (pure)."""
+    if not data:
+        return _no_data(rule, "source missing from snapshot")
+
+    if rule.kind == "p99_latency_s":
+        lat = data.get("latency") or {}
+        if lat.get("count", 0) < rule.min_count:
+            return _no_data(rule, f"window holds {lat.get('count', 0)} obs")
+        return _grade(rule, float(lat.get("p99", 0.0)))
+
+    if rule.kind == "error_rate":
+        traffic = data.get("traffic") or data
+        events = traffic.get("events", traffic.get("count", 0))
+        if events < rule.min_count:
+            return _no_data(rule, f"window holds {events} events")
+        return _grade(rule, float(traffic.get("error_rate", 0.0)))
+
+    if rule.kind == "queue_saturation":
+        queues = data.get("queues")
+        if queues:
+            worst_name, value = "", -1.0
+            for qname, q in queues.items():
+                cap = float(q.get("capacity", 0)) or 1.0
+                sat = float(q.get("depth", 0)) / cap
+                if sat > value:
+                    worst_name, value = qname, sat
+            return _grade(rule, value, detail=worst_name)
+        if "queue_capacity" in data:
+            cap = float(data["queue_capacity"]) or 1.0
+            return _grade(rule, float(data.get("queue_depth", 0)) / cap)
+        return _no_data(rule, "no queue stats in sample")
+
+    if rule.kind == "rmse_nonregression":
+        served = data.get("served_rmse")
+        best = data.get("best_rmse")
+        if served is None or best is None:
+            return _no_data(rule, "no RMSE in sample")
+        served, best = float(served), float(best)
+        if not (served == served and best == best) or best == float("inf"):
+            return _no_data(rule, "RMSE not measured yet")  # NaN/inf guard
+        return _grade(rule, served - best, detail=f"served={served:.4g}")
+
+    if rule.kind == "swap_staleness_s":
+        age = data.get("swap_age_s")
+        if age is None:
+            return _no_data(rule, "no swap clock in sample")
+        return _grade(rule, float(age), detail=f"swaps={data.get('swaps', 0)}")
+
+    # heartbeat_s: worst age over the registry; dead thread or per-entry
+    # deadline overrun breaches immediately
+    beats = data.get("heartbeats")
+    if beats is None:
+        beats = data if all(isinstance(v, dict) for v in data.values()) else None
+    if not beats:
+        return _no_data(rule, "no heartbeats in sample")
+    worst_value, worst_name, breach_detail = -1.0, "", ""
+    for name, info in beats.items():
+        if info.get("done"):
+            continue
+        age = float(info.get("age_s", 0.0))
+        if not info.get("alive", True):
+            breach_detail = f"{name}: thread died"
+            worst_value, worst_name = max(worst_value, age), name
+            continue
+        deadline = info.get("deadline_s")
+        if deadline is not None and age > float(deadline):
+            breach_detail = breach_detail or f"{name}: {age:.2f}s > {deadline}s deadline"
+        if age > worst_value:
+            worst_value, worst_name = age, name
+    if worst_value < 0.0:
+        return _no_data(rule, "all heartbeats done")
+    if breach_detail:
+        return SLOStatus(
+            rule=rule.name, kind=rule.kind, source=rule.source,
+            state="breach", value=worst_value, threshold=rule.threshold,
+            detail=breach_detail,
+        )
+    return _grade(rule, worst_value, detail=worst_name)
+
+
+def evaluate_rules(rules, sources: dict) -> list:
+    """Evaluate every rule against ``{source_name: sample}``."""
+    return [evaluate_rule(rule, sources.get(rule.source)) for rule in rules]
+
+
+# ---------------------------------------------------------------------------
+# stock rule sets (conservative: zero false positives on a healthy run)
+# ---------------------------------------------------------------------------
+def default_serve_rules(
+    source: str = "serve",
+    p99_latency_s: float = 2.0,
+    error_rate: float = 0.05,
+    queue_saturation: float = 0.95,
+    heartbeat_s: float = 5.0,
+    min_count: int = 8,
+) -> list:
+    """SLOs for an :class:`~repro.serve.InferenceService`."""
+    return [
+        SLORule(f"{source} p99 latency", "p99_latency_s", p99_latency_s,
+                source=source, min_count=min_count),
+        SLORule(f"{source} error rate", "error_rate", error_rate,
+                source=source, min_count=min_count),
+        SLORule(f"{source} queue saturation", "queue_saturation",
+                queue_saturation, source=source),
+        SLORule(f"{source} batcher heartbeat", "heartbeat_s", heartbeat_s,
+                source=source),
+    ]
+
+
+def default_online_rules(
+    source: str = "online",
+    heartbeat_s: float = 30.0,
+    rmse_regression: float = 0.0,
+    swap_staleness_s: float = 300.0,
+) -> list:
+    """SLOs for an :class:`~repro.online.OnlineLearner` pipeline."""
+    return [
+        SLORule(f"{source} stage heartbeats", "heartbeat_s", heartbeat_s,
+                source=source),
+        SLORule(f"{source} served RMSE non-regression", "rmse_nonregression",
+                rmse_regression, source=source, warn_ratio=1.0),
+        SLORule(f"{source} swap staleness", "swap_staleness_s",
+                swap_staleness_s, source=source),
+    ]

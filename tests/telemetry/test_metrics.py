@@ -62,6 +62,98 @@ class TestInstruments:
         assert h.max == 99.0
 
 
+class TestHistogramPercentiles:
+    def test_empty_histogram_is_all_zeros(self):
+        h = MetricRegistry().histogram("dt")
+        assert h.percentile(50) == 0.0
+        assert h.percentile(0) == 0.0
+        assert h.percentile(100) == 0.0
+        s = h.summary()
+        assert s["min"] == 0.0 and s["max"] == 0.0 and s["p99"] == 0.0
+
+    def test_extreme_quantiles_are_exact_min_max(self):
+        h = MetricRegistry().histogram("dt")
+        for v in [5.0, 1.0, 3.0]:
+            h.observe(v)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(-3) == 1.0
+        assert h.percentile(100) == 5.0
+        assert h.percentile(250) == 5.0
+
+    def test_extremes_exact_even_when_reservoir_capped(self):
+        # the reservoir keeps the first 4 samples, but min/max are
+        # tracked exactly for every observation
+        h = MetricRegistry().histogram("dt", max_samples=4)
+        for v in range(100):
+            h.observe(float(v))
+        assert h.percentile(0) == 0.0
+        assert h.percentile(100) == 99.0
+
+    def test_capped_flag(self):
+        h = MetricRegistry().histogram("dt", max_samples=2)
+        h.observe(1.0)
+        assert h.capped is False
+        assert h.summary()["capped"] is False
+        h.observe(2.0)
+        h.observe(3.0)
+        assert h.capped is True
+        assert h.summary()["capped"] is True
+
+
+class TestHistogramMerge:
+    def test_merge_lossless_aggregates(self):
+        reg = MetricRegistry()
+        a = reg.histogram("dt", rank=0)
+        b = reg.histogram("dt", rank=1)
+        for v in [1.0, 2.0]:
+            a.observe(v)
+        for v in [10.0, 0.5]:
+            b.observe(v)
+        a.merge(b)
+        assert a.count == 4
+        assert a.total == 13.5
+        assert a.min == 0.5
+        assert a.max == 10.0
+        assert sorted(a.samples) == [0.5, 1.0, 2.0, 10.0]
+
+    def test_merge_accepts_as_dict_form(self):
+        reg = MetricRegistry()
+        a = reg.histogram("dt")
+        b = reg.histogram("other")
+        b.observe(7.0)
+        a.merge(b.as_dict())
+        assert a.count == 1 and a.max == 7.0
+
+    def test_merge_empty_is_noop(self):
+        a = MetricRegistry().histogram("dt")
+        a.observe(1.0)
+        a.merge(MetricRegistry().histogram("empty"))
+        assert a.count == 1 and a.min == 1.0
+
+    def test_merge_respects_reservoir_cap(self):
+        reg = MetricRegistry()
+        a = reg.histogram("dt", max_samples=3)
+        b = reg.histogram("src")
+        for v in range(10):
+            b.observe(float(v))
+        a.merge(b)
+        assert a.count == 10
+        assert len(a.samples) == 3
+        assert a.capped is True
+
+    def test_registry_merge_histograms(self):
+        parent = MetricRegistry()
+        worker = MetricRegistry()
+        worker.histogram("task_s").observe(0.25)
+        worker.histogram("task_s").observe(0.75)
+        shipped = {"task_s": worker.histogram("task_s").as_dict()}
+        parent.merge_histograms(shipped, rank=1)
+        parent.merge_histograms(shipped, rank=1)
+        h = parent.histogram("task_s", rank=1)
+        assert h.count == 4
+        assert h.total == pytest.approx(2.0)
+
+
 class TestSnapshot:
     def test_snapshot_shape_and_label_strings(self):
         reg = MetricRegistry()
