@@ -19,12 +19,21 @@ CLI (``python -m repro.analysis``):
   randomness, no wall-clock reads outside the manifest writer, no
   cross-subpackage private imports, no float32 casts on hot paths, every
   kernel-name literal registered, no order-nondeterministic reductions.
+* :mod:`concurrency` -- the thread-safety pillar: a static lock-
+  discipline lint (unguarded shared fields, untracked locks, unbounded
+  waits, sleep-polling), a dynamic lock-order recorder with deadlock-
+  cycle detection behind ``capture(kind="locks")``, and annotated race
+  checking of :class:`~concurrency.Guarded` fields behind
+  ``capture(kind="races")``.
 
 Quick start::
 
     python -m repro.analysis lint                 # AST lint the package
     python -m repro.analysis determinism          # 3-backend audit
     python -m repro.analysis graph path/to/fixture.py
+    python -m repro.analysis concurrency          # lock-discipline lint
+    python -m repro.analysis concurrency --scenario online \
+        --graph-out lock_order.json               # deadlock-free cert
 
     from repro.analysis import GraphLinter
     from repro.autograd import capture
@@ -34,6 +43,17 @@ Quick start::
 """
 
 from .astlint import ProjectLinter, RULES, lint_paths
+from .concurrency import (
+    CONCURRENCY_RULES,
+    ConcurrencyLinter,
+    Guarded,
+    LockOrderRecorder,
+    RaceChecker,
+    TrackedLock,
+    TrackedRLock,
+    lint_concurrency,
+    run_scenario,
+)
 from .determinism import (
     SharedStateProbe,
     audit_determinism,
@@ -66,4 +86,13 @@ __all__ = [
     "run_backend",
     "state_fingerprint",
     "SharedStateProbe",
+    "TrackedLock",
+    "TrackedRLock",
+    "Guarded",
+    "LockOrderRecorder",
+    "RaceChecker",
+    "ConcurrencyLinter",
+    "lint_concurrency",
+    "CONCURRENCY_RULES",
+    "run_scenario",
 ]

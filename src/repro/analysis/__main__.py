@@ -75,6 +75,33 @@ def cmd_graph(args) -> int:
     return _emit(report, args.json, args.verbose)
 
 
+def cmd_concurrency(args) -> int:
+    from .concurrency import lint_concurrency, run_scenario
+
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    report = lint_concurrency(paths, display_base=Path.cwd())
+    report.tool = "concurrency"
+    graphs = {}
+    for name in args.scenario or []:
+        try:
+            scenario_report, graph = run_scenario(
+                name, held_threshold_s=args.held_threshold_s
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        report.extend(scenario_report)
+        graphs[Path(name).stem if Path(name).exists() else name] = graph
+    if args.graph_out:
+        out = Path(args.graph_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(
+            {"schema": "repro.lockgraph/v1", "scenarios": graphs}, indent=2
+        ))
+        print(f"lock-order graph: {out}")
+    return _emit(report, args.json, args.verbose)
+
+
 def cmd_determinism(args) -> int:
     backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
     for b in backends:
@@ -114,7 +141,8 @@ def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="Static & dynamic analyzers: AST project lint, "
-                    "autograd graph lint, parallel determinism audit.",
+                    "autograd graph lint, parallel determinism audit, "
+                    "concurrency (lock discipline, lock order, races).",
     )
     sub = parser.add_subparsers(dest="cmd", required=True)
 
@@ -150,6 +178,28 @@ def main(argv: "list[str] | None" = None) -> int:
     p_det.add_argument("--json", action="store_true")
     p_det.add_argument("--verbose", action="store_true")
     p_det.set_defaults(fn=cmd_determinism)
+
+    p_conc = sub.add_parser(
+        "concurrency",
+        help="lock-discipline lint + lock-order/race certification "
+             "scenarios (default: lint the installed repro package)",
+    )
+    p_conc.add_argument("paths", nargs="*",
+                        help="files/directories to lint")
+    p_conc.add_argument("--scenario", action="append", default=[],
+                        help="run a certification scenario under the "
+                             "lock-order recorder and race checker: "
+                             "queues | serve | online | a path to a "
+                             "python file defining run() (repeatable)")
+    p_conc.add_argument("--held-threshold-s", type=float, default=None,
+                        help="holds longer than this become "
+                             "lock-held-too-long warnings (default 1s)")
+    p_conc.add_argument("--graph-out", default=None,
+                        help="write the recorded lock-order graph(s) "
+                             "as JSON (the CI artifact)")
+    p_conc.add_argument("--json", action="store_true")
+    p_conc.add_argument("--verbose", action="store_true")
+    p_conc.set_defaults(fn=cmd_concurrency)
 
     args = parser.parse_args(argv)
     return args.fn(args)

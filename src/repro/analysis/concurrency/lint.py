@@ -1,0 +1,565 @@
+"""Static AST lock-discipline lint (the concurrency pillar's layer 1).
+
+Extends the PR-4 project lint with four thread-safety rules, sharing its
+``Finding``/``Report`` model and its ``# lint: disable=<rule>``
+suppression convention:
+
+``unguarded-shared-field``
+    In a class that starts threads, an instance attribute assigned from
+    more than one *thread entry point* (``Thread(target=...)`` targets,
+    executor-submitted / source-registered bound methods, and the
+    external-caller entry through public methods) must have every write
+    site inside ``with self.<lock>:`` for a *common* lock.  Methods
+    whose name ends in ``_locked`` declare "caller holds the lock" and
+    are compatible with any common lock.
+``untracked-lock``
+    Bare ``threading.Lock()`` / ``threading.RLock()`` / zero-argument
+    ``threading.Condition()`` constructed inside the concurrency-
+    sensitive subsystems (``serve/``, ``online/``,
+    ``telemetry/monitor/``).  These are invisible to the lock-order
+    recorder; use :class:`~repro.analysis.concurrency.TrackedLock` /
+    ``TrackedRLock`` (or ``Condition(TrackedRLock(...))``).
+``unbounded-wait``
+    ``<thread>.join()`` without a timeout on a thread constructed
+    without ``daemon=True`` (a wedged worker then hangs shutdown
+    forever), and bare ``<queue>.get()`` with no timeout on queue-like
+    receivers.
+``sleep-poll``
+    ``time.sleep`` inside a ``while`` loop whose body never calls a
+    ``.wait(...)`` — a busy-wait that should block on a
+    ``Condition``/``Event`` instead (wakes late *and* burns a core).
+
+The entry-point analysis is deliberately syntactic: roots are bound
+methods that *escape* (referenced without being called — thread
+targets, ``submit(self.x)``, ``add_source(.., self.x)``) plus nested
+``def``s passed as ``Thread(target=...)``; reachability is the
+intra-class ``self.method()`` call graph.  That is precise enough to
+have found real unguarded fields in ``repro.online``/``repro.serve``
+and cheap enough to gate CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..astlint import _suppressed
+from ..findings import Finding, Report
+
+__all__ = ["ConcurrencyLinter", "lint_concurrency", "CONCURRENCY_RULES"]
+
+CONCURRENCY_RULES = (
+    "unguarded-shared-field",
+    "untracked-lock",
+    "unbounded-wait",
+    "sleep-poll",
+)
+
+#: path components whose files must use tracked locks
+_LOCK_SCOPE = {"serve", "online", "monitor"}
+_RAW_LOCK_CTORS = {"Lock", "RLock", "Condition"}
+_LOCK_CTORS = _RAW_LOCK_CTORS | {"TrackedLock", "TrackedRLock"}
+_LOCKISH_RE = re.compile(r"lock|cond|mutex", re.IGNORECASE)
+_QUEUEISH_RE = re.compile(r"queue|(^|_)q$", re.IGNORECASE)
+#: sentinel lockset of ``*_locked`` methods: guarded by "whatever the
+#: caller holds" — compatible with any concrete common lock
+_UNIVERSAL = "*"
+
+
+def _attr_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _flat_targets(target: ast.AST):
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _flat_targets(elt)
+    else:
+        yield target
+
+
+def _is_thread_ctor(func: ast.AST) -> bool:
+    chain = _attr_chain(func)
+    return chain in (("threading", "Thread"), ("Thread",))
+
+
+def _lock_ctor(func: ast.AST) -> Optional[str]:
+    chain = _attr_chain(func)
+    if chain and chain[-1] in _LOCK_CTORS:
+        return chain[-1]
+    return None
+
+
+class _FileLint:
+    def __init__(self, path: Path, display: str, lines: Sequence[str],
+                 report: Report):
+        self.path = path
+        self.display = display
+        self.lines = lines
+        self.report = report
+        self.lock_scope = bool(_LOCK_SCOPE & set(path.parts))
+        self.threading_names: Set[str] = set()
+        self.time_sleep_names: Set[str] = set()
+        #: target chain -> constructed-as-daemon (lenient: True wins)
+        self.thread_vars: Dict[Tuple[str, ...], bool] = {}
+
+    def flag(self, rule: str, node: ast.AST, message: str, **context) -> None:
+        if _suppressed(self.lines, node.lineno, rule):
+            return
+        self.report.add(Finding(
+            rule=rule, message=message, file=self.display,
+            line=node.lineno, context=context,
+        ))
+
+    # ------------------------------------------------------------------
+    def run(self, tree: ast.AST) -> None:
+        self._collect_imports(tree)
+        self._collect_thread_vars(tree)
+        _ModuleRules(self).visit(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                _SharedFieldAnalysis(self, node).run()
+
+    def _collect_imports(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "threading":
+                    self.threading_names |= {a.asname or a.name
+                                             for a in node.names}
+                elif node.module == "time":
+                    self.time_sleep_names |= {
+                        a.asname or a.name for a in node.names
+                        if a.name == "sleep"
+                    }
+
+    def _collect_thread_vars(self, tree: ast.AST) -> None:
+        """Whole-file map of names/attrs assigned ``Thread(...)`` and
+        whether the construction was daemonic (``x.daemon = True`` too)."""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                value = node.value
+                if isinstance(value, ast.Call) and _is_thread_ctor(value.func):
+                    daemon = any(
+                        kw.arg == "daemon"
+                        and isinstance(kw.value, ast.Constant)
+                        and bool(kw.value.value)
+                        for kw in value.keywords
+                    )
+                    for tgt in node.targets:
+                        for leaf in _flat_targets(tgt):
+                            chain = _attr_chain(leaf)
+                            if chain:
+                                prev = self.thread_vars.get(chain, False)
+                                self.thread_vars[chain] = prev or daemon
+                else:
+                    for tgt in node.targets:
+                        chain = _attr_chain(tgt)
+                        if (chain and chain[-1] == "daemon"
+                                and isinstance(value, ast.Constant)
+                                and bool(value.value)):
+                            self.thread_vars[chain[:-1]] = True
+
+
+class _ModuleRules(ast.NodeVisitor):
+    """untracked-lock, unbounded-wait, sleep-poll (whole-file rules)."""
+
+    def __init__(self, lf: _FileLint):
+        self.lf = lf
+        self.while_stack: List[ast.While] = []
+
+    # functions reset the while stack: a sleep inside a nested def is
+    # not part of the enclosing loop's iteration
+    def visit_FunctionDef(self, node):
+        saved, self.while_stack = self.while_stack, []
+        self.generic_visit(node)
+        self.while_stack = saved
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_While(self, node: ast.While):
+        self.while_stack.append(node)
+        self.generic_visit(node)
+        self.while_stack.pop()
+
+    def visit_Call(self, node: ast.Call):
+        lf = self.lf
+        chain = _attr_chain(node.func)
+        if chain:
+            self._check_untracked_lock(node, chain)
+            self._check_unbounded_wait(node, chain)
+            self._check_sleep_poll(node, chain)
+        self.generic_visit(node)
+
+    # -- untracked-lock ------------------------------------------------
+    def _check_untracked_lock(self, node: ast.Call,
+                              chain: Tuple[str, ...]) -> None:
+        lf = self.lf
+        if not lf.lock_scope:
+            return
+        name = chain[-1]
+        if name not in _RAW_LOCK_CTORS:
+            return
+        qualified = len(chain) == 2 and chain[0] == "threading"
+        bare = len(chain) == 1 and name in lf.threading_names
+        if not (qualified or bare):
+            return
+        if name == "Condition" and (node.args or node.keywords):
+            return  # Condition(tracked_lock) is the sanctioned pattern
+        lf.flag(
+            "untracked-lock", node,
+            f"bare threading.{name}() in concurrency-sensitive code; use "
+            "TrackedLock/TrackedRLock (repro.analysis.concurrency) so the "
+            "lock-order recorder and race checker can observe it",
+            ctor=name,
+        )
+
+    # -- unbounded-wait ------------------------------------------------
+    def _check_unbounded_wait(self, node: ast.Call,
+                              chain: Tuple[str, ...]) -> None:
+        lf = self.lf
+        if node.args or node.keywords or len(chain) < 2:
+            return  # only zero-argument calls are unbounded
+        receiver, method = chain[:-1], chain[-1]
+        if method == "join":
+            if lf.thread_vars.get(receiver) is False:  # known non-daemon
+                lf.flag(
+                    "unbounded-wait", node,
+                    f"{'.'.join(receiver)}.join() without timeout on a "
+                    "non-daemon thread; a wedged worker hangs shutdown "
+                    "forever — pass a timeout or make the thread daemonic",
+                    receiver=".".join(receiver),
+                )
+        elif method == "get" and _QUEUEISH_RE.search(receiver[-1]):
+            lf.flag(
+                "unbounded-wait", node,
+                f"unbounded {'.'.join(receiver)}.get(); pass a timeout so "
+                "a stalled producer cannot wedge this consumer silently",
+                receiver=".".join(receiver),
+            )
+
+    # -- sleep-poll ----------------------------------------------------
+    def _check_sleep_poll(self, node: ast.Call,
+                          chain: Tuple[str, ...]) -> None:
+        lf = self.lf
+        is_sleep = chain == ("time", "sleep") or (
+            len(chain) == 1 and chain[0] in lf.time_sleep_names
+        )
+        if not is_sleep or not self.while_stack:
+            return
+        loop = self.while_stack[-1]
+        for inner in ast.walk(loop):
+            if (isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Attribute)
+                    and inner.func.attr == "wait"):
+                return  # the loop blocks on a Condition/Event already
+        lf.flag(
+            "sleep-poll", node,
+            "time.sleep inside a while loop with no .wait(): busy-polling "
+            "wakes late and burns a core — block on a Condition/Event "
+            "with a timeout instead",
+        )
+
+
+class _SharedFieldAnalysis:
+    """``unguarded-shared-field`` over one class definition."""
+
+    def __init__(self, lf: _FileLint, cls: ast.ClassDef):
+        self.lf = lf
+        self.cls = cls
+        self.methods: Dict[str, ast.AST] = {
+            stmt.name: stmt for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+    def run(self) -> None:
+        if not self.methods or not self._creates_threads():
+            return
+        lock_attrs = self._lock_attrs()
+        roots = self._thread_roots()
+        if not roots:
+            return
+        nested_ids = {id(node) for key, node in roots.items() if "<" in key}
+        scopes: Dict[str, ast.AST] = {
+            name: node for name, node in self.methods.items()
+            if name != "__init__"
+        }
+        scopes.update({key: node for key, node in roots.items()
+                       if "<" in key})
+        calls: Dict[str, Set[str]] = {}
+        writes: Dict[str, List[Tuple[str, int, FrozenSet[str]]]] = {}
+        for key, node in scopes.items():
+            universal = node.name.endswith("_locked")
+            calls[key], writes[key] = _scan_scope(
+                node, nested_ids, lock_attrs, universal
+            )
+
+        def reach(entries) -> Set[str]:
+            out: Set[str] = set()
+            frontier = [e for e in entries if e in scopes]
+            while frontier:
+                key = frontier.pop()
+                if key in out:
+                    continue
+                out.add(key)
+                frontier.extend(
+                    callee for callee in calls.get(key, ())
+                    if callee in scopes and callee not in out
+                )
+            return out
+
+        root_reach = {key: reach([key]) for key in roots}
+        external = reach(
+            name for name in self.methods
+            if name != "__init__"
+            and (not name.startswith("_")
+                 or (name.startswith("__") and name.endswith("__")))
+        )
+
+        sites_by_attr: Dict[str, List[Tuple[str, int, FrozenSet[str]]]] = {}
+        for key in scopes:
+            for attr, lineno, guards in writes[key]:
+                sites_by_attr.setdefault(attr, []).append(
+                    (key, lineno, guards)
+                )
+
+        for attr, sites in sorted(sites_by_attr.items()):
+            if attr in lock_attrs:
+                continue
+            entry_points: Set[str] = set()
+            for key, _, _ in sites:
+                entry_points.update(
+                    root for root, reached in root_reach.items()
+                    if key in reached
+                )
+                if key in external:
+                    entry_points.add("<external>")
+            if len(entry_points) < 2:
+                continue
+            self._check_guards(attr, sites, sorted(entry_points))
+
+    def _check_guards(self, attr, sites, entry_points) -> None:
+        where = ", ".join(entry_points)
+        unguarded = [(key, lineno) for key, lineno, guards in sites
+                     if not guards]
+        if unguarded:
+            key, lineno = unguarded[0]
+            self.lf.flag(
+                "unguarded-shared-field",
+                _Loc(lineno),
+                f"'self.{attr}' is written from {len(entry_points)} thread "
+                f"entry points ({where}) but {len(unguarded)} write site(s) "
+                "hold no lock; guard every write with a common TrackedLock",
+                attr=attr, entry_points=entry_points,
+                unguarded_sites=[ln for _, ln in unguarded],
+            )
+            return
+        concrete = [guards for _, _, guards in sites
+                    if _UNIVERSAL not in guards]
+        if not concrete:
+            return
+        common = set(concrete[0])
+        for guards in concrete[1:]:
+            common &= guards
+        if not common:
+            key, lineno, _ = sites[0]
+            self.lf.flag(
+                "unguarded-shared-field",
+                _Loc(lineno),
+                f"'self.{attr}' is written from {len(entry_points)} thread "
+                f"entry points ({where}) under *different* locks — no "
+                "common lock covers all write sites",
+                attr=attr, entry_points=entry_points,
+            )
+
+    # ------------------------------------------------------------------
+    def _creates_threads(self) -> bool:
+        return any(
+            isinstance(node, ast.Call) and _is_thread_ctor(node.func)
+            for node in ast.walk(self.cls)
+        )
+
+    def _lock_attrs(self) -> Set[str]:
+        out: Set[str] = set()
+        for node in ast.walk(self.cls):
+            if isinstance(node, ast.Assign) and isinstance(node.value,
+                                                           ast.Call):
+                if _lock_ctor(node.value.func):
+                    for tgt in node.targets:
+                        chain = _attr_chain(tgt)
+                        if chain and chain[0] == "self" and len(chain) == 2:
+                            out.add(chain[1])
+        return out
+
+    def _thread_roots(self) -> Dict[str, ast.AST]:
+        """Thread entry scopes: escaping bound methods + nested
+        ``Thread(target=<nested def>)`` targets."""
+        call_funcs = {
+            id(node.func) for node in ast.walk(self.cls)
+            if isinstance(node, ast.Call)
+        }
+        roots: Dict[str, ast.AST] = {}
+        for mname, mnode in self.methods.items():
+            for node in ast.walk(mnode):
+                if (isinstance(node, ast.Attribute)
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id == "self"
+                        and isinstance(node.ctx, ast.Load)
+                        and node.attr in self.methods
+                        and id(node) not in call_funcs):
+                    roots[node.attr] = self.methods[node.attr]
+                if isinstance(node, ast.Call) and _is_thread_ctor(node.func):
+                    for kw in node.keywords:
+                        if kw.arg == "target" and isinstance(kw.value,
+                                                             ast.Name):
+                            nested = _find_nested_def(mnode, kw.value.id)
+                            if nested is not None:
+                                roots[f"{mname}.<{kw.value.id}>"] = nested
+        return roots
+
+
+class _Loc:
+    """Minimal node stand-in carrying just a line number for flag()."""
+
+    __slots__ = ("lineno",)
+
+    def __init__(self, lineno: int):
+        self.lineno = lineno
+
+
+def _find_nested_def(scope: ast.AST, name: str) -> Optional[ast.AST]:
+    for node in ast.walk(scope):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node.name == name and node is not scope:
+            return node
+    return None
+
+
+def _scan_scope(scope, skip_ids, lock_attrs, universal):
+    """(called self-methods, write sites) for one thread-entry scope.
+
+    A write site is ``(attr, lineno, guards)`` where ``guards`` is the
+    frozenset of lock names lexically held via ``with`` at that point
+    (``{_UNIVERSAL}`` inside ``*_locked`` methods).  Nested defs that
+    are thread roots themselves are skipped (they are their own scope);
+    other nested defs are merged into the enclosing scope.
+    """
+    called: Set[str] = set()
+    sites: List[Tuple[str, int, FrozenSet[str]]] = []
+    base: FrozenSet[str] = frozenset({_UNIVERSAL}) if universal \
+        else frozenset()
+
+    def guard_names(node: ast.With) -> Set[str]:
+        names: Set[str] = set()
+        for item in node.items:
+            chain = _attr_chain(item.context_expr)
+            if chain is None:
+                continue
+            if chain[0] == "self" and len(chain) == 2:
+                name = chain[1]
+            elif len(chain) == 1:
+                name = chain[0]
+            else:
+                continue
+            if name in lock_attrs or _LOCKISH_RE.search(name):
+                names.add(name)
+        return names
+
+    def rec(node: ast.AST, guards: FrozenSet[str]) -> None:
+        if id(node) in skip_ids:
+            return
+        if isinstance(node, ast.With):
+            inner = guards | guard_names(node)
+            for child in node.body:
+                rec(child, inner)
+            return
+        if isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            if chain and chain[0] == "self" and len(chain) == 2:
+                called.add(chain[1])
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for tgt in targets:
+                for leaf in _flat_targets(tgt):
+                    chain = _attr_chain(leaf)
+                    if chain and chain[0] == "self" and len(chain) == 2:
+                        sites.append((chain[1], leaf.lineno, guards))
+        for child in ast.iter_child_nodes(node):
+            rec(child, guards)
+
+    for stmt in scope.body:
+        rec(stmt, base)
+    return called, sites
+
+
+# --------------------------------------------------------------------------
+# driver (mirrors astlint.ProjectLinter)
+# --------------------------------------------------------------------------
+
+class ConcurrencyLinter:
+    """Run the four concurrency rules over files/directories.
+
+    With no paths, lints the installed ``repro`` package source.
+    """
+
+    def __init__(self, paths: Optional[Sequence[Path]] = None,
+                 display_base: Optional[Path] = None):
+        if paths is None:
+            paths = [Path(__file__).resolve().parents[2]]  # the repro pkg
+        self.paths = [Path(p) for p in paths]
+        self.display_base = display_base
+
+    def _iter_files(self) -> List[Path]:
+        files: List[Path] = []
+        for p in self.paths:
+            if p.is_dir():
+                files.extend(sorted(p.rglob("*.py")))
+            elif p.suffix == ".py":
+                files.append(p)
+        return files
+
+    def _display(self, path: Path) -> str:
+        base = self.display_base
+        if base is not None:
+            try:
+                return str(path.resolve().relative_to(Path(base).resolve()))
+            except ValueError:
+                pass
+        return str(path)
+
+    def run(self) -> Report:
+        report = Report(tool="concurrency-lint")
+        report.checks_run.extend(CONCURRENCY_RULES)
+        files = self._iter_files()
+        report.metrics["files_scanned"] = len(files)
+        for path in files:
+            try:
+                text = path.read_text()
+                tree = ast.parse(text, filename=str(path))
+            except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+                report.add(Finding(
+                    rule="parse-error",
+                    message=f"could not parse: {exc}",
+                    file=self._display(path),
+                    line=getattr(exc, "lineno", None),
+                ))
+                continue
+            _FileLint(
+                path, self._display(path), text.splitlines(), report
+            ).run(tree)
+        return report
+
+
+def lint_concurrency(paths: Optional[Sequence[Path]] = None,
+                     display_base: Optional[Path] = None) -> Report:
+    """Convenience wrapper: ``ConcurrencyLinter(paths).run()``."""
+    return ConcurrencyLinter(paths, display_base=display_base).run()

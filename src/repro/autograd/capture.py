@@ -218,13 +218,28 @@ class capture:
         capture's extent.  The profiler is attached as ``tracer.profiler``
         so downstream span/trace consumers find the op timeline in the
         usual place.
+    held_threshold_s:
+        ``kind="locks"`` only: holds longer than this become
+        ``lock-held-too-long`` warnings on the recorder's report.
+
+    Two further kinds observe the *lock* stream rather than the op
+    stream (see :mod:`repro.analysis.concurrency`):
+
+    ``"locks"``  -- install a
+    :class:`~repro.analysis.concurrency.LockOrderRecorder` recording
+    acquire-order edges of every :class:`TrackedLock`; ``"races"`` --
+    install a :class:`~repro.analysis.concurrency.RaceChecker`
+    validating every :class:`Guarded` field access against its declared
+    lock.  Unlike the op sinks these are **process-global** (they must
+    observe every thread, not just the installing one); they still
+    compose and nest freely with each other and with op captures.
 
     Captures compose: nesting any combination pushes independent sinks
     that all observe the same op stream, and each ``__exit__`` removes
     only its own sink.
     """
 
-    KINDS = ("tape", "count", "sanitize", "profile")
+    KINDS = ("tape", "count", "sanitize", "profile", "locks", "races")
 
     def __init__(
         self,
@@ -234,6 +249,7 @@ class capture:
         mode: str = "raise",
         max_findings: int = 100,
         tracer=None,
+        held_threshold_s: Optional[float] = None,
     ):
         if kind not in self.KINDS:
             raise ValueError(
@@ -243,20 +259,45 @@ class capture:
             raise ValueError("graph=True only applies to kind='tape'")
         if tracer is not None and kind != "profile":
             raise ValueError("tracer= only applies to kind='profile'")
+        if held_threshold_s is not None and kind != "locks":
+            raise ValueError("held_threshold_s= only applies to kind='locks'")
         self.kind = kind
         self.graph = bool(graph)
         self._tracer = tracer
         self._owns_tracer = False
+        self._held_threshold_s = held_threshold_s
         if kind == "tape":
             self.sink = TapeRecorder()
         elif kind == "count":
             self.sink = KernelCounter()
         elif kind == "sanitize":
             self.sink = Sanitizer(mode=mode, max_findings=max_findings)
-        else:  # profile: the sink needs telemetry, built lazily on enter
+        else:  # profile/locks/races: lazy deps, sink built on enter
             self.sink = None
 
     def __enter__(self):
+        if self.kind == "locks":
+            from ..analysis.concurrency.locks import (
+                LockOrderRecorder,
+                install_recorder,
+            )
+
+            kwargs = {} if self._held_threshold_s is None \
+                else {"held_threshold_s": self._held_threshold_s}
+            recorder = LockOrderRecorder(**kwargs)
+            install_recorder(recorder)
+            self.sink = recorder
+            return recorder
+        if self.kind == "races":
+            from ..analysis.concurrency.guard import (
+                RaceChecker,
+                install_checker,
+            )
+
+            checker = RaceChecker()
+            install_checker(checker)
+            self.sink = checker
+            return checker
         if self.kind == "profile":
             from ..telemetry.profile import Profiler
             from ..telemetry.trace import Tracer
@@ -280,6 +321,16 @@ class capture:
         return self.sink
 
     def __exit__(self, *exc) -> None:
+        if self.kind == "locks":
+            from ..analysis.concurrency.locks import uninstall_recorder
+
+            uninstall_recorder(self.sink)
+            return
+        if self.kind == "races":
+            from ..analysis.concurrency.guard import uninstall_checker
+
+            uninstall_checker(self.sink)
+            return
         if self.kind == "profile":
             self.sink.uninstall()
             if self._owns_tracer:

@@ -10,8 +10,9 @@ restore them bit-exactly from a checkpoint.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import asdict, dataclass
+
+from ..analysis.concurrency import TrackedLock
 
 
 @dataclass
@@ -57,7 +58,7 @@ class LabelLedger:
     )
 
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = TrackedLock("online.ledger")
         for name in self._FIELDS:
             setattr(self, name, 0)
 

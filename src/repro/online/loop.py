@@ -39,6 +39,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..analysis.concurrency import Guarded, TrackedLock
 from ..data.dataset import Dataset
 from ..data.store import load_dataset, save_dataset
 from ..md.cell import Cell
@@ -202,8 +203,13 @@ class OnlineLearner:
 
         # cross-thread plumbing
         self._stop = threading.Event()
-        self._walker_lock = threading.Lock()
-        self._walker_mailbox: Optional[dict] = None
+        self._walker_lock = TrackedLock("online.walker")
+        self._walker_mailbox: Guarded = Guarded(
+            None, self._walker_lock, name="online.walker_mailbox"
+        )
+        #: guards the progress counters and RMSE fields shared between
+        #: run()'s calling thread and the stage threads
+        self._state_lock = TrackedLock("online.state")
         self._trainer_error: Optional[BaseException] = None
 
         # health plane: per-stage liveness beacons plus the live queue
@@ -254,7 +260,8 @@ class OnlineLearner:
         position and counters.
         """
         if start is not None:
-            self._start_pos = np.asarray(start, dtype=np.float64).copy()
+            with self._state_lock:
+                self._start_pos = np.asarray(start, dtype=np.float64).copy()
         if self._start_pos is None:
             raise ValueError("no start positions: pass `start` on the first run")
         target = self.cfg.target_swaps if target_swaps is None else target_swaps
@@ -263,12 +270,15 @@ class OnlineLearner:
 
         self.service.start()
         if not np.isfinite(self.served_rmse):
-            self.served_rmse = self._holdout_rmse()
-        self._best_rmse = min(self._best_rmse, self.served_rmse)
+            rmse0 = self._holdout_rmse()  # evaluate outside the lock
+            with self._state_lock:
+                self.served_rmse = rmse0
+        with self._state_lock:
+            self._best_rmse = min(self._best_rmse, self.served_rmse)
+            self._trainer_error = None
+            self._progress_t = time.monotonic()
         self._stop.clear()
-        self._trainer_error = None
         self._t0 = time.perf_counter()
-        self._progress_t = time.monotonic()
         swaps_before = len(self.swaps)
 
         cap = self.cfg.queue_capacity
@@ -336,7 +346,7 @@ class OnlineLearner:
                 if self._stop.is_set():
                     break
                 with self._walker_lock:
-                    promoted, self._walker_mailbox = self._walker_mailbox, None
+                    promoted = self._walker_mailbox.swap(None)
                 if promoted is not None:
                     self.explorer.refresh(promoted)
                 with _span("online.explore", segment=self.segments):
@@ -344,8 +354,9 @@ class OnlineLearner:
                 if frames.size == 0:
                     break
                 pos = frames[-1].copy()
-                self._start_pos = pos
-                self.segments += 1
+                with self._state_lock:
+                    self._start_pos = pos
+                    self.segments += 1
                 while not self._stop.is_set():
                     self.heartbeats.beat("online-explore")
                     if cand_q.put(frames, timeout=_POLL_S, stop=self._stop):
@@ -391,7 +402,8 @@ class OnlineLearner:
                     continue
                 with _span("online.train", round=self.trained_rounds):
                     self.trainer.train_round(seed_offset=self.trained_rounds)
-                self.trained_rounds += 1
+                with self._state_lock:
+                    self.trained_rounds += 1
                 rmse = self._holdout_rmse()
                 if rmse < self.served_rmse:
                     self._promote(rmse)
@@ -402,7 +414,8 @@ class OnlineLearner:
                         self._stop.set()
                         return
         except BaseException as exc:  # surfaced by run() after join
-            self._trainer_error = exc
+            with self._state_lock:
+                self._trainer_error = exc
             self._stop.set()
 
     # ------------------------------------------------------------------
@@ -444,10 +457,11 @@ class OnlineLearner:
         with _span("online.swap", rmse=rmse):
             version = self.service.swap(state)
         with self._walker_lock:
-            self._walker_mailbox = state[0]
-        self.served_rmse = rmse
-        self._best_rmse = min(self._best_rmse, rmse)
-        self._progress_t = time.monotonic()
+            self._walker_mailbox.set(state[0])
+        with self._state_lock:
+            self.served_rmse = rmse
+            self._best_rmse = min(self._best_rmse, rmse)
+            self._progress_t = time.monotonic()
         self.swaps.append(
             SwapRecord(
                 version=version,
@@ -471,16 +485,20 @@ class OnlineLearner:
         impossible, so any positive delta is a real bug), and the swap
         staleness clock (seconds since the last promotion or run start).
         """
+        with self._state_lock:  # a coherent progress sample, not torn
+            progress = {
+                "segments": self.segments,
+                "trained_rounds": self.trained_rounds,
+                "served_rmse": self.served_rmse,
+                "best_rmse": self._best_rmse,
+                "swap_age_s": (
+                    None if self._progress_t is None
+                    else time.monotonic() - self._progress_t
+                ),
+            }
         return {
-            "segments": self.segments,
-            "trained_rounds": self.trained_rounds,
+            **progress,
             "swaps": len(self.swaps),
-            "served_rmse": self.served_rmse,
-            "best_rmse": self._best_rmse,
-            "swap_age_s": (
-                None if self._progress_t is None
-                else time.monotonic() - self._progress_t
-            ),
             "queues": {q.name: q.stats() for q in self._queues},
             "heartbeats": self.heartbeats.ages(),
         }
@@ -533,14 +551,15 @@ class OnlineLearner:
         )
         with np.load(os.path.join(path, "walker.npz")) as z:
             start = z["start_pos"]
-            self._start_pos = start.copy() if start.size else None
+            with self._state_lock:
+                self._start_pos = start.copy() if start.size else None
             walker = {
                 k[len("model/"):]: z[k] for k in z.files if k.startswith("model/")
             }
         if walker:
             self._walker_model.load_state_dict(walker)
         with self._walker_lock:
-            self._walker_mailbox = None
+            self._walker_mailbox.set(None)
         labeled_path = os.path.join(path, "labeled.npz")
         self.trainer.labeled = (
             load_dataset(labeled_path) if os.path.exists(labeled_path) else None
@@ -549,9 +568,10 @@ class OnlineLearner:
             meta = json.load(fh)
         self.ledger.load_dict(meta["ledger"])
         self.swaps = [SwapRecord.from_dict(d) for d in meta["swaps"]]
-        self.trained_rounds = int(meta["trained_rounds"])
-        self.segments = int(meta["segments"])
-        self.served_rmse = float(meta["served_rmse"])
+        with self._state_lock:
+            self.trained_rounds = int(meta["trained_rounds"])
+            self.segments = int(meta["segments"])
+            self.served_rmse = float(meta["served_rmse"])
         self._wall_base = float(meta["wall_base"])
         self._rng.bit_generator.state = meta["rng_state"]
         self.service.restore_version(int(meta["model_version"]))

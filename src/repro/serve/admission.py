@@ -39,6 +39,8 @@ import threading
 from collections import deque
 from typing import Iterator, Optional
 
+from ..analysis.concurrency import Guarded, TrackedRLock
+
 __all__ = [
     "ServeError",
     "ServeOverloaded",
@@ -121,8 +123,12 @@ class BoundedWorkQueue:
         self.policy = policy
         self.name = name
         self._items: deque = deque()
-        self._cond = threading.Condition()
-        self._closed = False
+        # a tracked condition lock: queue waits show up in the lock-order
+        # graph, and the closed flag declares the cond as its guard
+        self._cond_lock = TrackedRLock(f"queue.{name}")
+        self._cond = threading.Condition(self._cond_lock)
+        self._closed = Guarded(False, self._cond_lock,
+                               name=f"queue.{name}.closed")
         self._counts = {"put": 0, "got": 0, "dropped": 0, "rejected": 0}
 
     # ------------------------------------------------------------------
@@ -142,7 +148,7 @@ class BoundedWorkQueue:
         """
         with self._cond:
             while True:
-                if self._closed:
+                if self._closed.get():
                     raise QueueClosed(f"{self.name} is closed")
                 if self.admission.admits(len(self._items)):
                     break
@@ -183,7 +189,7 @@ class BoundedWorkQueue:
                     self._counts["got"] += 1
                     self._cond.notify_all()
                     return item
-                if self._closed:
+                if self._closed.get():
                     return None
                 if stop is not None and stop.is_set():
                     return None
@@ -206,18 +212,18 @@ class BoundedWorkQueue:
     def close(self) -> None:
         """End the stream: puts start raising, gets drain then None."""
         with self._cond:
-            self._closed = True
+            self._closed.set(True)
             self._cond.notify_all()
 
     @property
     def closed(self) -> bool:
         with self._cond:
-            return self._closed
+            return self._closed.get()
 
     def drained(self) -> bool:
         """True once closed with nothing left to consume."""
         with self._cond:
-            return self._closed and not self._items
+            return self._closed.get() and not self._items
 
     def __len__(self) -> int:
         with self._cond:

@@ -60,6 +60,7 @@ from ..model.session import (
     frame_fingerprint,
     frames_to_batch,
 )
+from ..analysis.concurrency import Guarded, TrackedRLock
 from ..parallel.executor import Executor, WorkerCrash, make_executor
 from ..telemetry import metrics as _metrics
 from ..telemetry.metrics import Histogram
@@ -123,10 +124,13 @@ class InferenceService(InferenceSession):
     def __init__(self, session: InferenceSession, config: Optional[ServeConfig] = None):
         self._session = session
         self.config = config or ServeConfig()
-        self._cond = threading.Condition()
+        # tracked locks: the lock-order recorder sees the batch-cond and
+        # swap-lock nesting, and Guarded fields declare their guard
+        self._cond_lock = TrackedRLock("serve.batch")
+        self._cond = threading.Condition(self._cond_lock)
         # reentrant: _process holds it across the worker sync, whose
         # crash path re-enters via _heal
-        self._swap_lock = threading.RLock()
+        self._swap_lock = TrackedRLock("serve.swap")
         self._queue: list[_Request] = []
         self._stopping = False
         self._drain = True
@@ -135,8 +139,11 @@ class InferenceService(InferenceSession):
         self._executor: Optional[Executor] = None
         self._spec: Optional[PredictSpec] = None
         #: swap payload not yet broadcast to workers (lazy sync)
-        self._pending_state = None
-        self._worker_version = session.model_version
+        self._pending_state = Guarded(None, self._swap_lock,
+                                      name="serve.pending_state")
+        self._worker_version = Guarded(session.model_version,
+                                       self._swap_lock,
+                                       name="serve.worker_version")
         #: the shared admit/reject policy (see repro.serve.admission)
         self._admission = AdmissionController(
             self.config.max_queue, name="serve request queue"
@@ -196,12 +203,13 @@ class InferenceService(InferenceSession):
             self._spec = PredictSpec(
                 models=list(models), fused_env=self.config.fused_env
             )
-            self._executor = make_executor(
-                self.config.executor, self.config.world_size
-            )
-            self._executor.start(self._spec)
-            # replicas are deep copies of the session's *current* models
-            self._worker_version = self._session.model_version
+            with self._swap_lock:
+                self._executor = make_executor(
+                    self.config.executor, self.config.world_size
+                )
+                self._executor.start(self._spec)
+                # replicas are deep copies of the session's *current* models
+                self._worker_version.set(self._session.model_version)
         # telemetry is pay-for-what-you-use: capture worker spans only
         # when the starting thread has a tracer installed
         self._ambient_tracer = current_tracer()
@@ -237,9 +245,10 @@ class InferenceService(InferenceSession):
             self._cond.notify_all()
         self._thread.join()
         self._thread = None
-        if self._executor is not None:
-            self._executor.close()
-            self._executor = None
+        with self._swap_lock:
+            if self._executor is not None:
+                self._executor.close()
+                self._executor = None
         self._merge_loop_telemetry()
         self._started = False
 
@@ -364,7 +373,7 @@ class InferenceService(InferenceSession):
         """
         with self._swap_lock:
             version = self._session.swap(state)
-            self._pending_state = state
+            self._pending_state.set(state)
             with self._cond:
                 self._prediction_cache.clear()
         _metrics.REGISTRY.counter("serve.swaps").inc()
@@ -380,7 +389,7 @@ class InferenceService(InferenceSession):
         with self._swap_lock:
             result = self._session.restore_version(version)
             if self._executor is not None:
-                self._worker_version = result
+                self._worker_version.set(result)
         return result
 
     # ------------------------------------------------------------------
@@ -400,7 +409,8 @@ class InferenceService(InferenceSession):
         finally:
             if tracer is not None:
                 tracer.__exit__(None, None, None)
-                self._loop_tracer = tracer
+                with self._cond:
+                    self._loop_tracer = tracer
             self._fail_remaining()
             self.heartbeats.done("serve-batcher")
 
@@ -440,10 +450,10 @@ class InferenceService(InferenceSession):
     def _sync_workers_locked(self) -> None:
         """Broadcast the pending swap payload (caller holds _swap_lock)."""
         version = self._session.model_version
-        if self._executor is None or self._worker_version == version:
+        if self._executor is None or self._worker_version.get() == version:
             return
-        self._executor.broadcast("set_weights", self._pending_state)
-        self._worker_version = version
+        self._executor.broadcast("set_weights", self._pending_state.get())
+        self._worker_version.set(version)
 
     def _process(self, group: list[_Request]) -> None:
         cfg = self.config
@@ -522,12 +532,13 @@ class InferenceService(InferenceSession):
             return
         try:
             with self._swap_lock:
-                self._executor.heal(self._spec, self._pending_state)
-                self._worker_version = self._session.model_version
+                self._executor.heal(self._spec, self._pending_state.get())
+                self._worker_version.set(self._session.model_version)
         except Exception:
             # pool unrecoverable: all further batches use the fallback
-            self._executor.close()
-            self._executor = None
+            with self._swap_lock:
+                self._executor.close()
+                self._executor = None
 
     def _respond(self, group: list[_Request], out: dict, version: int) -> None:
         e_std = out.get("energy_std")
@@ -592,8 +603,9 @@ class InferenceService(InferenceSession):
         """Fold the batcher thread's locally captured spans/ops into the
         tracer that was ambient when the service started (tracer stacks
         are thread-local, so this is the only way they ever meet)."""
-        loop, ambient = self._loop_tracer, self._ambient_tracer
-        self._loop_tracer = None
+        with self._cond:
+            loop, ambient = self._loop_tracer, self._ambient_tracer
+            self._loop_tracer = None
         if loop is None or ambient is None:
             return
         ambient.adopt(loop, thread="serve-batcher")

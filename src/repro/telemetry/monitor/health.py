@@ -39,6 +39,7 @@ from .slo import (
     evaluate_rules,
     worst_state,
 )
+from ...analysis.concurrency import TrackedLock
 from ..metrics import REGISTRY
 
 __all__ = ["HealthSnapshot", "HealthMonitor"]
@@ -119,7 +120,7 @@ class HealthMonitor:
         self._sources: dict[str, Callable[[], dict]] = {}
         self._rules: list[SLORule] = []
         self._states: dict[str, str] = {}  # rule name -> last alertable state
-        self._lock = threading.Lock()
+        self._lock = TrackedLock("monitor.health")
         self.snapshots: list[HealthSnapshot] = []
         self.alerts: list[dict] = []
         self._seq = 0
@@ -182,10 +183,12 @@ class HealthMonitor:
                 REGISTRY.counter("monitor.source_errors", source=name).inc()
 
         statuses = evaluate_rules(rules, samples)
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
         snap = HealthSnapshot(
-            seq=self._seq, t=now - self._t0, sources=samples, statuses=statuses
+            seq=seq, t=now - self._t0, sources=samples, statuses=statuses
         )
-        self._seq += 1
 
         alerts = self._transitions(snap)
         snap.alerts = alerts

@@ -31,6 +31,8 @@ import threading
 import time
 from typing import Callable, Optional
 
+from ...analysis.concurrency import TrackedLock
+
 __all__ = ["HeartbeatRegistry"]
 
 
@@ -39,7 +41,7 @@ class HeartbeatRegistry:
 
     def __init__(self, clock: Callable[[], float] = time.monotonic):
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = TrackedLock("watchdog.heartbeats")
         self._entries: dict[str, dict] = {}
 
     # ------------------------------------------------------------------

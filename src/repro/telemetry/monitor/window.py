@@ -34,6 +34,7 @@ import threading
 import time
 from typing import Callable, Optional
 
+from ...analysis.concurrency import TrackedLock
 from ..metrics import Histogram
 
 __all__ = ["SlidingHistogram", "WindowedRate"]
@@ -72,7 +73,7 @@ class SlidingHistogram:
         self.max_samples = int(max_samples)
         self._bucket_s = self.window_s / self.buckets
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = TrackedLock("monitor.sliding_histogram")
         #: ring slots: [epoch occupying the slot, Histogram]
         self._ring: list[list] = [
             [-1, Histogram(self.max_samples)] for _ in range(self.buckets)
@@ -147,7 +148,7 @@ class WindowedRate:
         self._tau = self.halflife_s / math.log(2.0)
         self._bucket_s = self.window_s / self.buckets
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = TrackedLock("monitor.windowed_rate")
         #: ring slots: [epoch, events, errors]
         self._ring: list[list] = [[-1, 0.0, 0.0] for _ in range(self.buckets)]
         #: exponentially-decayed event mass and its last-update stamp

@@ -1,0 +1,37 @@
+"""Deadlock-prone two-lock scenario: thread 1 nests A -> B, thread 2
+nests B -> A.  The acquisitions are serialized with an Event so the
+fixture itself never hangs, but the recorded lock-order graph contains
+the A->B->A cycle -- exactly the inversion a real interleaving would
+deadlock on.  ``run_scenario`` on this file must report a
+``lock-order-cycle`` finding.
+"""
+
+import threading
+
+from repro.analysis.concurrency import TrackedLock
+
+
+def run():
+    a = TrackedLock("fixture.A")
+    b = TrackedLock("fixture.B")
+    first_done = threading.Event()
+
+    def ab():
+        with a:
+            with b:
+                pass
+        first_done.set()
+
+    def ba():
+        first_done.wait(timeout=5.0)
+        with b:
+            with a:
+                pass
+
+    t1 = threading.Thread(target=ab)
+    t2 = threading.Thread(target=ba)
+    t1.start()
+    t2.start()
+    t1.join(timeout=5.0)
+    t2.join(timeout=5.0)
+    return {"locks": 2}

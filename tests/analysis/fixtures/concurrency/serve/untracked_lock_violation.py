@@ -1,0 +1,14 @@
+"""Seeded violation: a bare ``threading.Lock()`` in a ``serve``-scoped
+path -> ``untracked-lock`` (the recorder cannot observe it)."""
+
+import threading
+
+
+class Dispatcher:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pending = []
+
+    def submit(self, item):
+        with self._lock:
+            self._pending.append(item)

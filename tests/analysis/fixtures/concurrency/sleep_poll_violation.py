@@ -1,0 +1,10 @@
+"""Seeded violation: sleep-polling a flag in a while loop instead of
+blocking on a Condition/Event -> ``sleep-poll``."""
+
+import time
+
+
+def wait_for(state):
+    while not state.ready:
+        time.sleep(0.05)  # burns a core and wakes up to 50 ms late
+    return state.value

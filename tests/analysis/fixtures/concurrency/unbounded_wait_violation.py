@@ -1,0 +1,13 @@
+"""Seeded violation: zero-timeout ``join()`` on a non-daemon thread and a
+bare ``queue.get()`` -> ``unbounded-wait`` (twice)."""
+
+import queue
+import threading
+
+
+def drain(work_queue: "queue.Queue"):
+    worker = threading.Thread(target=work_queue.join)
+    worker.start()
+    item = work_queue.get()  # blocks forever if the producer died
+    worker.join()  # and so does this if the worker wedged
+    return item

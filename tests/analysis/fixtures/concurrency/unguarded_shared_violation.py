@@ -1,0 +1,23 @@
+"""Seeded violation: a field written from two thread entry points where
+one write site holds no lock -> ``unguarded-shared-field``."""
+
+import threading
+
+
+class Pipeline:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.processed = 0
+        self._thread = None
+
+    def start(self):
+        self._thread = threading.Thread(target=self._worker)
+        self._thread.start()
+
+    def _worker(self):
+        with self._lock:
+            self.processed += 1
+
+    def reset(self):
+        # unguarded write racing the worker thread's guarded one
+        self.processed = 0

@@ -6,6 +6,12 @@ A wedged :class:`BoundedWorkQueue` consumer and a stalled
 :class:`InferenceService` worker must both surface as SLO *breach*
 alerts within the configured deadline, and a healthy run of the same
 machinery must raise zero.
+
+Every scenario here -- faulted and healthy twin alike -- runs under the
+annotated race checker (``capture("races")``): stalls injected by
+:class:`FaultInjector` stretch the interleavings, and the checker
+certifies that no ``Guarded`` field is ever touched without its
+declared lock, with zero findings on the healthy twins.
 """
 
 import threading
@@ -13,6 +19,7 @@ import time
 
 import pytest
 
+from repro.autograd.capture import capture
 from repro.optim import FaultInjector
 from repro.serve import BoundedWorkQueue, InferenceService, ServeConfig
 from repro.telemetry.monitor import (
@@ -73,28 +80,35 @@ class TestWedgedQueueConsumer:
         return q, t, release, mon
 
     def test_wedged_consumer_breaches_within_deadline(self):
-        q, t, release, mon = self._pipeline(wedge=True)
-        with mon:
-            for k in range(6):  # first item wedges; the rest pile up
-                q.put(k, timeout=0.5)
-            assert _wait_until(lambda: mon.breaches() > 0, timeout=5.0)
-        release.set()
-        q.close()
-        t.join(timeout=5.0)
+        with capture("races") as races:
+            q, t, release, mon = self._pipeline(wedge=True)
+            with mon:
+                for k in range(6):  # first item wedges; the rest pile up
+                    q.put(k, timeout=0.5)
+                assert _wait_until(lambda: mon.breaches() > 0, timeout=5.0)
+            release.set()
+            q.close()
+            t.join(timeout=5.0)
         breached = {a["rule"] for a in mon.alerts if a["to"] == "breach"}
         assert "stage heartbeat" in breached
         assert "queue saturation" in breached
+        # the wedge stretches the interleavings, not the lock discipline
+        assert races.ok, races.report().render()
 
     def test_healthy_consumer_never_breaches(self):
-        q, t, release, mon = self._pipeline(wedge=False)
-        with mon:
-            for k in range(6):
-                q.put(k, timeout=0.5)
-                time.sleep(0.01)  # the live consumer keeps the depth low
-            q.close()
-            t.join(timeout=5.0)
-            time.sleep(0.2)  # a few polls after the clean exit
+        with capture("races") as races:
+            q, t, release, mon = self._pipeline(wedge=False)
+            with mon:
+                for k in range(6):
+                    q.put(k, timeout=0.5)
+                    time.sleep(0.01)  # the live consumer keeps the depth low
+                q.close()
+                t.join(timeout=5.0)
+                time.sleep(0.2)  # a few polls after the clean exit
         assert mon.breaches() == 0
+        report = races.report()
+        assert races.ok, report.render()  # healthy twin: zero findings
+        assert report.metrics["guarded_accesses"] > 0  # and it did observe
 
 
 class TestStalledServeWorker:
@@ -127,15 +141,17 @@ class TestStalledServeWorker:
                              raises=False),
         )
         frame = cu_dataset.positions[0]
-        with mon:
-            pred = service.predict(
-                frame, cu_dataset.species, cu_dataset.cell, timeout=30.0
-            )
-            assert pred is not None
-            assert _wait_until(lambda: mon.breaches() > 0, timeout=5.0)
+        with capture("races") as races:
+            with mon:
+                pred = service.predict(
+                    frame, cu_dataset.species, cu_dataset.cell, timeout=30.0
+                )
+                assert pred is not None
+                assert _wait_until(lambda: mon.breaches() > 0, timeout=5.0)
         alerts = [a for a in mon.alerts if a["to"] == "breach"]
         assert any(a["kind"] == "heartbeat_s" for a in alerts)
         assert any("serve-batcher" in a["detail"] for a in alerts)
+        assert races.ok, races.report().render()
 
     def test_slow_worker_breaches_p99_latency(self, service, cu_dataset):
         mon = HealthMonitor(interval_s=0.05)
@@ -161,14 +177,18 @@ class TestStalledServeWorker:
         mon = HealthMonitor(interval_s=0.05)
         mon.watch_service(service)  # stock serve rules
         frame = cu_dataset.positions[0]
-        with mon:
-            for _ in range(6):
-                service.predict(
-                    frame, cu_dataset.species, cu_dataset.cell, timeout=30.0
-                )
-            time.sleep(0.2)
+        with capture("races") as races:
+            with mon:
+                for _ in range(6):
+                    service.predict(
+                        frame, cu_dataset.species, cu_dataset.cell, timeout=30.0
+                    )
+                time.sleep(0.2)
         assert mon.breaches() == 0
         assert len(mon.snapshots) >= 3
+        report = races.report()
+        assert races.ok, report.render()  # healthy twin: zero findings
+        assert report.metrics["guarded_accesses"] > 0
 
 
 class TestLearnerHealthSurface:
