@@ -1,0 +1,86 @@
+"""Frame-store gate: bounded residency, bit-identity, prefetch throughput.
+
+Three promises the out-of-core data pipeline (``repro.data.framestore``
++ ``repro.data.loader.StreamingLoader``) makes, enforced in CI:
+
+* sweeping a corpus ~8x larger than the configured mapping budget never
+  maps more than the budget, and process RSS stays below the corpus
+  size (an in-memory dataset would add at least the corpus);
+* training from the store with prefetch -- on the serial, thread, and
+  process executor backends -- is **bit-identical** to the historic
+  in-memory pipeline (same shuffle, same batches, same weights);
+* prefetched batch delivery is at least **1.3x** the synchronous
+  loader's throughput when a second core is available to build batches
+  on (single-core hosts skip the speedup gate -- there is no core to
+  overlap onto; same caveat as ``scaling.run_walltime``).
+
+Full tables and the ``BENCH_framestore.json`` manifest come from
+``python -m repro.harness framestore --bench-dir .``; this file is the
+CI gate over the same measurement core.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.framestore import measure
+
+
+@pytest.fixture(scope="module")
+def result(tmp_path_factory):
+    workdir = tmp_path_factory.mktemp("framestore")
+    return measure(corpus_frames=4096, workdir=str(workdir))
+
+
+def test_mapping_stays_within_budget(result):
+    sweep = result["sweep"]
+    assert sweep["mapped_within_bound"], (
+        f"mapped {sweep['mapped_peak_bytes']} bytes, budget "
+        f"{sweep['mapped_bound_bytes']}"
+    )
+    # the corpus must actually exceed the budget for the bound to mean
+    # anything
+    assert sweep["corpus_bytes"] > 2 * sweep["mapped_bound_bytes"]
+
+
+def test_rss_stays_below_corpus(result):
+    sweep = result["sweep"]
+    assert sweep["rss_below_corpus"], (
+        f"RSS grew {sweep['rss_delta_bytes']} bytes over a "
+        f"{sweep['corpus_bytes']}-byte corpus; residency is not bounded"
+    )
+
+
+def test_store_training_bit_identical_per_executor(result):
+    per = result["identity"]["executors"]
+    assert set(per) == {"serial", "thread", "process"}
+    bad = [ex for ex, ok in per.items() if not ok]
+    assert not bad, f"store-backed training diverged on executors: {bad}"
+
+
+def test_prefetch_throughput_at_least_1_3x(result):
+    pre = result["prefetch"]
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip(
+            "prefetch overlaps batch construction onto other cores; a "
+            f"single-core host has none (measured {pre['speedup']:.2f}x)"
+        )
+    assert pre["speedup"] >= 1.3, (
+        f"prefetched delivery only {pre['speedup']:.2f}x the synchronous "
+        f"loader ({pre['sync_batches_per_s']:.1f} -> "
+        f"{pre['stream_batches_per_s']:.1f} batches/s); the 1.3x gate failed"
+    )
+
+
+def test_training_paced_prefetch_mostly_hits(result):
+    pre = result["prefetch"]
+    assert pre["hit_rate"] >= 0.5, (
+        f"only {pre['hit_rate']:.0%} of optimizer asks found a batch "
+        f"ready ({pre['stalls']} stalls); prefetch is not keeping up"
+    )
+
+
+def test_ingest_throughput_recorded(result):
+    ing = result["ingest"]
+    assert ing["frames"] == 4096
+    assert ing["frames_per_s"] > 0

@@ -23,7 +23,19 @@ Quickstart::
 
 from . import telemetry
 from .autograd import KernelCounter, Tensor, grad, no_grad
-from .data import BatchLoader, Dataset, SYSTEMS, generate_dataset, load_dataset, save_dataset
+from .data import (
+    BatchLoader,
+    Dataset,
+    FrameSource,
+    SYSTEMS,
+    ShardedFrameStore,
+    StreamingLoader,
+    generate_dataset,
+    load_dataset,
+    make_loader,
+    open_source,
+    save_dataset,
+)
 from .model import DeePMD, DeePMDConfig, make_batch
 from .model.calculator import DeePMDCalculator
 from .model.session import InferenceSession, ModelSession, Prediction
@@ -60,6 +72,11 @@ __all__ = [
     "KernelCounter",
     "Dataset",
     "BatchLoader",
+    "StreamingLoader",
+    "make_loader",
+    "open_source",
+    "FrameSource",
+    "ShardedFrameStore",
     "SYSTEMS",
     "generate_dataset",
     "save_dataset",

@@ -33,6 +33,14 @@ police the ways Python code quietly breaks them:
     scheduler-dependent, so any reduction folded in that order breaks
     bit-identical parallel replication.  Rank results must be reduced in
     rank order (see ``repro.parallel``).
+``in-memory-materialize``
+    Full-corpus reads (``source.positions[:]``-style whole-array slices
+    of frame arrays, or zero-argument ``.to_dataset()``) inside the
+    streaming hot paths (train/online).  Those components must go
+    through the :class:`~repro.data.source.FrameSource` windowed API
+    (``get_frames``/``neighbor_tables``) so an out-of-core
+    :class:`~repro.data.framestore.ShardedFrameStore` keeps RSS bounded
+    -- one stray ``[:]`` silently re-binds the corpus size to RAM.
 
 Per-line suppression: append ``# lint: disable=<rule>[,<rule>...]`` to
 the offending line (or the line directly above it).
@@ -56,6 +64,7 @@ RULES = (
     "float32-cast",
     "unregistered-op",
     "unordered-reduction",
+    "in-memory-materialize",
 )
 
 #: legacy np.random attributes that are fine (not stateful draws)
@@ -64,6 +73,12 @@ _RANDOM_OK = {"default_rng", "Generator", "PCG64", "SeedSequence", "BitGenerator
 _HOT_COMPONENTS = {"autograd", "optim", "model", "parallel"}
 #: files allowed to read the wall clock
 _WALLCLOCK_ALLOWED = ("harness/manifest.py",)
+#: path components where frame access must stay windowed (streaming hot
+#: paths -- an out-of-core store may back the source)
+_MATERIALIZE_SCOPE = {"train", "online"}
+#: per-frame arrays a FrameSource may expose; a full slice of any of
+#: them materializes the whole corpus
+_FRAME_ARRAYS = {"positions", "forces", "energies", "temperatures"}
 
 _SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\- ]+)")
 
@@ -117,6 +132,7 @@ class _FileVisitor(ast.NodeVisitor):
         self.module = _module_parts(path)
         self.subpackage = _subpackage(self.module)
         self.hot = bool(_HOT_COMPONENTS & set(path.parts))
+        self.streaming_hot = bool(_MATERIALIZE_SCOPE & set(path.parts))
         self.wallclock_ok = any(
             self.display.endswith(suffix) for suffix in _WALLCLOCK_ALLOWED
         )
@@ -184,6 +200,12 @@ class _FileVisitor(ast.NodeVisitor):
         self._check_float32(node)
         self._check_op_literal(node)
         self._check_as_completed(node)
+        self._check_materialize_call(node)
+        self.generic_visit(node)
+
+    # -- subscripts ------------------------------------------------------
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        self._check_materialize_slice(node)
         self.generic_visit(node)
 
     @staticmethod
@@ -287,6 +309,37 @@ class _FileVisitor(ast.NodeVisitor):
                 f"no register_op() declaration anywhere in the tree; register "
                 f"it next to the kernel definition",
                 op=literal.value,
+            )
+
+    def _check_materialize_call(self, node: ast.Call) -> None:
+        if not self.streaming_hot:
+            return
+        if isinstance(node.func, ast.Attribute) and \
+                node.func.attr == "to_dataset" and \
+                not node.args and not node.keywords:
+            self.flag(
+                "in-memory-materialize", node,
+                "zero-argument .to_dataset() materializes the whole corpus "
+                "in RAM inside a streaming hot path; read windows through "
+                "get_frames()/neighbor_tables() or pass explicit indices",
+            )
+
+    def _check_materialize_slice(self, node: ast.Subscript) -> None:
+        if not self.streaming_hot or not isinstance(node.ctx, ast.Load):
+            return
+        sl = node.slice
+        if not (isinstance(sl, ast.Slice) and sl.lower is None
+                and sl.upper is None and sl.step is None):
+            return
+        if isinstance(node.value, ast.Attribute) and \
+                node.value.attr in _FRAME_ARRAYS:
+            self.flag(
+                "in-memory-materialize", node,
+                f"full slice of .{node.value.attr} reads the whole corpus "
+                f"into RAM inside a streaming hot path; an out-of-core "
+                f"FrameSource must be read in windows "
+                f"(get_frames(indices), not .{node.value.attr}[:])",
+                attr=node.value.attr,
             )
 
     def _check_as_completed(self, node: ast.Call) -> None:

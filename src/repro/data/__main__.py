@@ -1,10 +1,13 @@
 """Dataset generation CLI (the paper artifact's feature-generation step).
 
     python -m repro.data Cu --frames 48 --size paper --out datasets/cu.npz
+    python -m repro.data Cu --frames 48 --store stores/cu --shard-capacity 64
 
 Samples the requested system with the classical-MD labeler, optionally
 precomputes the padded neighbor tables at the system's descriptor cutoff,
-and saves everything as one npz ("Saving npy file done").
+and saves everything as one npz ("Saving npy file done") -- or, with
+``--store``, ingests the frames into a ``repro.framestore/v1`` sharded
+store that trains out-of-core via ``repro.data.open_source``.
 """
 
 from __future__ import annotations
@@ -13,7 +16,8 @@ import argparse
 import time
 
 from ..md.neighbor import max_neighbor_count
-from .store import save_dataset
+from .framestore import ShardedFrameStore
+from .store import write_npz
 from .systems import SYSTEMS, generate_dataset
 
 
@@ -24,6 +28,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--size", default="paper", choices=("paper", "small", "tiny"))
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", default=None, help="output npz path")
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="ingest into a sharded frame store at DIR instead of one npz",
+    )
+    parser.add_argument(
+        "--shard-capacity",
+        type=int,
+        default=1024,
+        dest="shard_capacity",
+        help="frames per shard for --store",
+    )
     parser.add_argument(
         "--neighbors",
         action="store_true",
@@ -46,8 +63,20 @@ def main(argv: list[str] | None = None) -> int:
         nmax = max_neighbor_count(ds.positions[0], ds.cell, rcut) + 2
         ds.ensure_neighbors(rcut, nmax)
         print(f"neighbor tables built at rcut={rcut:.2f} A, Nm={nmax}")
+    if args.store is not None:
+        t1 = time.perf_counter()
+        with ShardedFrameStore.ingest(
+            args.store, ds, shard_capacity=args.shard_capacity, name=ds.name
+        ) as store:
+            n_shards = len(store.shards)
+        rate = ds.n_frames / max(time.perf_counter() - t1, 1e-9)
+        print(
+            f"ingested {ds.n_frames} frames into {n_shards} shards "
+            f"({rate:.0f} frames/s) -> {args.store}"
+        )
+        return 0
     out = args.out or f"{args.system.lower()}_{args.size}.npz"
-    save_dataset(ds, out)
+    write_npz(ds, out)
     print(f"Saving npy file done -> {out}")
     return 0
 

@@ -87,6 +87,56 @@ class Dataset:
             temperatures=np.array([f.temperature for f in traj.frames]),
         )
 
+    def get_frames(self, indices) -> "Frames":
+        """Materialize the requested frames (:class:`FrameSource` read
+        path).  Fancy indexing copies, so callers never hold views into
+        the dataset's arrays."""
+        from .source import Frames  # deferred: source imports this module
+
+        indices = np.asarray(indices, dtype=np.int64).reshape(-1)
+        return Frames(
+            positions=self.positions[indices],
+            forces=self.forces[indices],
+            energies=self.energies[indices],
+            temperatures=self.temperatures[indices],
+        )
+
+    def neighbor_tables(self, indices, rcut: float, nmax: int) -> NeighborArrays:
+        """Padded neighbor tables for the requested frames, sliced from
+        the dataset-wide cache (:class:`FrameSource` read path)."""
+        indices = np.asarray(indices, dtype=np.int64).reshape(-1)
+        nb = self.ensure_neighbors(rcut, nmax)
+        return NeighborArrays(
+            idx=nb.idx[indices],
+            shift=nb.shift[indices],
+            mask=nb.mask[indices],
+            rcut=nb.rcut,
+        )
+
+    @property
+    def cached_neighbors(self) -> Optional[NeighborArrays]:
+        """The neighbor tables built so far (``None`` before the first
+        :meth:`ensure_neighbors`).  Public accessor so serialization does
+        not need to reach into the private cache field."""
+        return self._neighbors
+
+    @cached_neighbors.setter
+    def cached_neighbors(self, nb: Optional[NeighborArrays]) -> None:
+        self._neighbors = nb
+
+    def fingerprint(self) -> str:
+        """Content identity: sha256 over the label arrays and geometry.
+        Two datasets with equal frames fingerprint equal regardless of
+        how they were constructed or stored."""
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(self.species.astype(np.int64).tobytes())
+        h.update(np.asarray(self.cell.lengths, dtype=np.float64).tobytes())
+        for arr in (self.positions, self.forces, self.energies, self.temperatures):
+            h.update(np.ascontiguousarray(arr, dtype=np.float64).tobytes())
+        return h.hexdigest()
+
     def subset(self, indices: np.ndarray) -> "Dataset":
         indices = np.asarray(indices)
         sub = Dataset(

@@ -1,9 +1,22 @@
-"""npz-backed persistence for datasets (the paper's "Saving npy file done"
-feature-generation step)."""
+"""npz-backed persistence for in-memory datasets (the paper's "Saving
+npy file done" feature-generation step).
+
+:func:`write_npz` / :func:`read_npz` are the current API; they round-trip
+a :class:`~repro.data.dataset.Dataset` (including cached neighbor tables)
+through one compressed npz file, using the public
+:attr:`~repro.data.dataset.Dataset.cached_neighbors` accessor.
+
+:func:`save_dataset` / :func:`load_dataset` are one-release
+``DeprecationWarning`` shims over them -- new code should go through
+:func:`repro.data.open_source` (which reads ``.npz`` via
+:func:`read_npz`) or use a :class:`~repro.data.framestore.
+ShardedFrameStore` for corpora that should not live in RAM.
+"""
 
 from __future__ import annotations
 
 import os
+import warnings
 
 import numpy as np
 
@@ -11,7 +24,7 @@ from ..md.cell import Cell
 from .dataset import Dataset, NeighborArrays
 
 
-def save_dataset(dataset: Dataset, path: str) -> None:
+def write_npz(dataset: Dataset, path: str) -> None:
     """Serialize a dataset (and cached neighbor tables, if any) to ``path``."""
     os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
     payload = dict(
@@ -23,7 +36,7 @@ def save_dataset(dataset: Dataset, path: str) -> None:
         cell_lengths=dataset.cell.lengths,
         temperatures=dataset.temperatures,
     )
-    nb = dataset._neighbors
+    nb = dataset.cached_neighbors
     if nb is not None:
         payload.update(
             nb_idx=nb.idx, nb_shift=nb.shift, nb_mask=nb.mask, nb_rcut=np.array(nb.rcut)
@@ -31,8 +44,8 @@ def save_dataset(dataset: Dataset, path: str) -> None:
     np.savez_compressed(path, **payload)
 
 
-def load_dataset(path: str) -> Dataset:
-    """Load a dataset written by :func:`save_dataset`."""
+def read_npz(path: str) -> Dataset:
+    """Load a dataset written by :func:`write_npz`."""
     with np.load(path, allow_pickle=False) as z:
         ds = Dataset(
             name=str(z["name"]),
@@ -44,10 +57,33 @@ def load_dataset(path: str) -> Dataset:
             temperatures=z["temperatures"],
         )
         if "nb_idx" in z:
-            ds._neighbors = NeighborArrays(
+            ds.cached_neighbors = NeighborArrays(
                 idx=z["nb_idx"],
                 shift=z["nb_shift"],
                 mask=z["nb_mask"],
                 rcut=float(z["nb_rcut"]),
             )
     return ds
+
+
+def save_dataset(dataset: Dataset, path: str) -> None:
+    """Deprecated alias of :func:`write_npz` (one release)."""
+    warnings.warn(
+        "save_dataset is deprecated; use repro.data.write_npz (or a "
+        "ShardedFrameStore for out-of-core corpora)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    write_npz(dataset, path)
+
+
+def load_dataset(path: str) -> Dataset:
+    """Deprecated alias of :func:`read_npz` (one release); new code
+    should call :func:`repro.data.open_source` instead."""
+    warnings.warn(
+        "load_dataset is deprecated; use repro.data.open_source (or "
+        "repro.data.read_npz)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return read_npz(path)

@@ -9,7 +9,7 @@ Run from the command line::
 or call the per-experiment ``run`` functions directly.
 """
 
-from . import ablations, compile_bench, figure1, figure4, figure7, memory, online, profile, scaling, serve_bench, table1, table3, table4, table5
+from . import ablations, compile_bench, figure1, figure4, figure7, framestore, memory, online, profile, scaling, serve_bench, table1, table3, table4, table5
 from .common import Report
 from .manifest import build_manifest, write_manifest
 
@@ -35,6 +35,7 @@ EXPERIMENTS = {
     "serve-bench": serve_bench.run,
     "online": online.run,
     "compile": compile_bench.run,
+    "framestore": framestore.run,
 }
 
 __all__ = ["EXPERIMENTS", "Report", "build_manifest", "write_manifest"]

@@ -1,0 +1,360 @@
+"""Out-of-core frame store vs the in-memory pipeline (``BENCH_framestore.json``).
+
+The online-learning story of the paper needs a label corpus that grows
+without bound while training keeps running; :mod:`repro.data.framestore`
+is the out-of-core answer.  This experiment certifies its three
+promises on one machine:
+
+* **bounded residency** -- sweeping a corpus much larger than the
+  configured mapping budget (``max_open_shards`` x shard bytes) never
+  maps more than the budget, and process RSS stays far below the corpus
+  size (an in-memory dataset would grow by at least the corpus);
+* **bit-identity** -- training from the store, with prefetch on any
+  executor backend (serial/thread/process), produces bit-identical
+  weights to the historic in-memory pipeline;
+* **prefetch throughput** -- overlapping descriptor-batch construction
+  with optimizer steps via :class:`~repro.data.loader.StreamingLoader`
+  beats the synchronous loader by the gated factor (>=1.3x in CI).
+
+``python -m repro.harness framestore --bench-dir .`` writes the
+``repro.bench/v1`` manifest the ``framestore-smoke`` CI job asserts on;
+``benchmarks/bench_framestore.py`` gates the same measurement core.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+
+import numpy as np
+
+from ..data.framestore import ShardedFrameStore
+from ..data.loader import make_loader
+from ..optim.ekf import FEKF
+from ..perf.memory import MB, process_rss_bytes
+from .common import Report, experiment_setup, fast_kalman
+from .manifest import write_manifest
+
+__all__ = [
+    "EXECUTORS",
+    "ingest_jittered",
+    "measure_rss_sweep",
+    "measure_bit_identity",
+    "measure_prefetch",
+    "measure",
+    "run",
+]
+
+EXECUTORS = ("serial", "thread", "process")
+
+
+def ingest_jittered(
+    path: str,
+    base,
+    n_frames: int,
+    *,
+    shard_capacity: int = 512,
+    max_open_shards: int = 2,
+    seed: int = 0,
+    chunk: int = 256,
+) -> tuple[ShardedFrameStore, float]:
+    """Stream ``n_frames`` jittered resamples of ``base`` into a new
+    store, ``chunk`` frames at a time -- the corpus is never materialized
+    in RAM.  Returns ``(store, ingest_seconds)``."""
+    rng = np.random.default_rng(seed)
+    store = ShardedFrameStore.create(
+        path,
+        species=base.species,
+        cell=base.cell,
+        shard_capacity=shard_capacity,
+        max_open_shards=max_open_shards,
+        name="synthetic",
+    )
+    t0 = time.perf_counter()
+    written = 0
+    while written < n_frames:
+        k = min(chunk, n_frames - written)
+        sel = rng.integers(0, base.n_frames, size=k)
+        pos = base.positions[sel] + rng.normal(
+            scale=1e-3, size=(k, base.n_atoms, 3)
+        )
+        store.append(pos, base.energies[sel], base.forces[sel],
+                     base.temperatures[sel])
+        written += k
+    return store, time.perf_counter() - t0
+
+
+def measure_rss_sweep(store: ShardedFrameStore, window: int = 64) -> dict:
+    """Read every frame of ``store`` in bounded windows, tracking the
+    mapping budget and process residency."""
+    corpus_bytes = store.n_frames * store.record_bytes
+    bound_bytes = (
+        store.max_open_shards * store.shard_capacity * store.record_bytes
+    )
+    rss0 = process_rss_bytes()
+    mapped_peak = 0
+    rss_peak = rss0
+    t0 = time.perf_counter()
+    for lo in range(0, store.n_frames, window):
+        idx = np.arange(lo, min(lo + window, store.n_frames))
+        store.get_frames(idx)
+        mapped_peak = max(mapped_peak, store.cache_stats()["mapped_bytes"])
+        rss_peak = max(rss_peak, process_rss_bytes())
+    sweep_s = time.perf_counter() - t0
+    return {
+        "corpus_bytes": int(corpus_bytes),
+        "mapped_bound_bytes": int(bound_bytes),
+        "mapped_peak_bytes": int(mapped_peak),
+        "mapped_within_bound": bool(mapped_peak <= bound_bytes),
+        "rss_delta_bytes": int(rss_peak - rss0),
+        "rss_below_corpus": bool(rss_peak - rss0 < corpus_bytes),
+        "sweep_s": sweep_s,
+        "sweep_frames_per_s": store.n_frames / sweep_s if sweep_s else 0.0,
+    }
+
+
+def _train_weights(source, cfg, *, batch_size: int, epochs: int, seed: int,
+                   prefetch: bool = False, executor: str | None = None):
+    """One short FEKF run over ``source``; returns the final flat weights."""
+    from ..model.network import DeePMD
+    from ..train.trainer import Trainer
+
+    model = DeePMD.for_dataset(source, cfg, seed=1)
+    opt = FEKF(model, fast_kalman(), fused_env=True, seed=11)
+    trainer = Trainer(
+        model, opt, source, None,
+        batch_size=batch_size, seed=seed, eval_frames=8,
+        prefetch=prefetch, prefetch_executor=executor, prefetch_workers=2,
+    )
+    try:
+        trainer.run(max_epochs=epochs)
+    finally:
+        trainer.close()
+    return model.params.flatten()
+
+
+def measure_bit_identity(setup, store_dir: str, *, batch_size: int = 4,
+                         epochs: int = 1, seed: int = 3) -> dict:
+    """Store-backed prefetched training vs the in-memory pipeline, one
+    executor backend at a time; every arm must be bit-identical."""
+    path = os.path.join(store_dir, "exact")
+    store = ShardedFrameStore.ingest(path, setup.train,
+                                     shard_capacity=8, name="exact")
+    try:
+        ref = _train_weights(setup.train, setup.cfg,
+                             batch_size=batch_size, epochs=epochs, seed=seed)
+        per_executor = {}
+        for ex in EXECUTORS:
+            w = _train_weights(store, setup.cfg, batch_size=batch_size,
+                               epochs=epochs, seed=seed,
+                               prefetch=True, executor=ex)
+            per_executor[ex] = bool(np.array_equal(ref, w))
+        return {
+            "executors": per_executor,
+            "bit_identical": all(per_executor.values()),
+        }
+    finally:
+        store.close()
+
+
+def measure_prefetch(setup, store_dir: str, *, n_frames: int = 384,
+                     batch_size: int = 16, workers: int = 2,
+                     executor: str = "process", seed: int = 5) -> dict:
+    """Synchronous vs prefetched batch delivery over the same store.
+
+    Two measurements against identical fresh stores (cold neighbor
+    caches, worker spawn excluded via :meth:`~repro.data.loader.
+    StreamingLoader.warm_up`):
+
+    * **throughput** -- both arms drain one epoch of descriptor batches
+      with a trivial consumer, so the number is the loader's delivery
+      rate; with ``workers`` rank processes building batches in parallel
+      the streaming arm is the gated >=1.3x (needs >=2 host cores --
+      on one core there is no second core to build batches on, the same
+      caveat ``scaling.run_walltime`` documents);
+    * **overlap** -- one training-paced epoch (a first-order optimizer
+      consuming at realistic speed) reporting the hit/stall accounting:
+      a high hit rate means batches were ready the moment the optimizer
+      asked.
+    """
+    from ..model.network import DeePMD
+    from ..optim.first_order import Adam
+
+    path = os.path.join(store_dir, "prefetch")
+    store, _ = ingest_jittered(path, setup.train, n_frames,
+                               shard_capacity=64, max_open_shards=4,
+                               seed=seed)
+    store.close()
+
+    def drain_arm(prefetch: bool) -> tuple[float, int]:
+        src = ShardedFrameStore.open(path)
+        loader = make_loader(
+            src, batch_size, cfg=setup.cfg, seed=seed,
+            prefetch=prefetch, executor=executor, workers=workers,
+        )
+        loader.warm_up()
+        sink = 0.0
+        batches = 0
+        t0 = time.perf_counter()
+        for _idx, batch in loader.iter_batches(setup.cfg, 0):
+            sink += float(batch.energies[0])  # touch the delivered data
+            batches += 1
+        wall = time.perf_counter() - t0
+        loader.close()
+        src.close()
+        assert np.isfinite(sink)
+        return wall, batches
+
+    def paced_arm() -> dict:
+        src = ShardedFrameStore.open(path)
+        model = DeePMD.for_dataset(src, setup.cfg, seed=1)
+        opt = Adam(model)
+        loader = make_loader(
+            src, batch_size, cfg=setup.cfg, seed=seed,
+            prefetch=True, executor=executor, workers=workers,
+        )
+        loader.warm_up()
+        t0 = time.perf_counter()
+        for _idx, batch in loader.iter_batches(setup.cfg, 0):
+            opt.step_batch(batch)
+        wall = time.perf_counter() - t0
+        stats = dict(loader.stats)
+        stats["wall_s"] = wall
+        loader.close()
+        src.close()
+        return stats
+
+    sync_wall, batches = drain_arm(False)
+    stream_wall, _ = drain_arm(True)
+    paced = paced_arm()
+    served = paced["batches"]
+    return {
+        "executor": executor,
+        "workers": workers,
+        "host_cores": os.cpu_count() or 1,
+        "batches": batches,
+        "sync_s": sync_wall,
+        "stream_s": stream_wall,
+        "sync_batches_per_s": batches / sync_wall if sync_wall else 0.0,
+        "stream_batches_per_s": batches / stream_wall if stream_wall else 0.0,
+        "speedup": sync_wall / stream_wall if stream_wall else float("inf"),
+        "hit_rate": paced["hits"] / served if served else 0.0,
+        "stalls": paced["stalls"],
+        "wait_s": paced["wait_s"],
+        "paced_wall_s": paced["wall_s"],
+    }
+
+
+def measure(seed: int = 0, corpus_frames: int = 8192,
+            prefetch_frames: int = 384, workdir: str | None = None) -> dict:
+    """The full measurement: ingest, bounded sweep, bit-identity,
+    prefetch throughput.  Returns a flat result dict."""
+    setup = experiment_setup("Cu", frames_per_temperature=8, seed=seed)
+    owned = workdir is None
+    workdir = workdir or tempfile.mkdtemp(prefix="repro-framestore-")
+    try:
+        store, ingest_s = ingest_jittered(
+            os.path.join(workdir, "corpus"), setup.train, corpus_frames,
+            seed=seed,
+        )
+        try:
+            ingest = {
+                "frames": store.n_frames,
+                "shards": len(store.shards),
+                "ingest_s": ingest_s,
+                "frames_per_s": store.n_frames / ingest_s if ingest_s else 0.0,
+                "mb_per_s": (store.n_frames * store.record_bytes / MB / ingest_s
+                             if ingest_s else 0.0),
+            }
+            sweep = measure_rss_sweep(store)
+        finally:
+            store.close()
+        identity = measure_bit_identity(setup, workdir)
+        prefetch = measure_prefetch(setup, workdir,
+                                    n_frames=prefetch_frames, seed=seed + 5)
+        return {"ingest": ingest, "sweep": sweep, "identity": identity,
+                "prefetch": prefetch}
+    finally:
+        if owned:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+def run(seed: int = 0, corpus_frames: int = 8192,
+        bench_dir: "str | None" = None) -> Report:
+    """The ``framestore`` harness experiment."""
+    result = measure(seed=seed, corpus_frames=corpus_frames)
+    ing, sweep = result["ingest"], result["sweep"]
+    ident, pre = result["identity"], result["prefetch"]
+    report = Report(
+        experiment="framestore",
+        title="out-of-core frame store: ingest, residency, prefetch",
+        headers=["quantity", "value"],
+        paper_reference=(
+            "Sec. 6 online learning: the label corpus grows without "
+            "bound while training keeps running"
+        ),
+    )
+    report.add_row("ingest frames/s", f"{ing['frames_per_s']:.0f}")
+    report.add_row("ingest MB/s", f"{ing['mb_per_s']:.1f}")
+    report.add_row("corpus MB", f"{sweep['corpus_bytes'] / MB:.1f}")
+    report.add_row("mapping budget MB", f"{sweep['mapped_bound_bytes'] / MB:.2f}")
+    report.add_row("mapped peak MB", f"{sweep['mapped_peak_bytes'] / MB:.2f}")
+    report.add_row("sweep RSS delta MB", f"{sweep['rss_delta_bytes'] / MB:.1f}")
+    report.add_row("sweep frames/s", f"{sweep['sweep_frames_per_s']:.0f}")
+    for ex, ok in ident["executors"].items():
+        report.add_row(f"bit-identical ({ex} prefetch)", "yes" if ok else "NO")
+    report.add_row(
+        f"prefetch throughput ({pre['executor']} x{pre['workers']}, "
+        f"{pre['host_cores']} cores)",
+        f"{pre['speedup']:.2f}x",
+    )
+    report.add_row("prefetch hit rate (training-paced)",
+                   f"{pre['hit_rate']:.2f}")
+    report.notes.append(
+        "residency: at most max_open_shards shard mappings stay live, so "
+        "the mapped peak sits under the budget while the corpus is "
+        f"{sweep['corpus_bytes'] / max(sweep['mapped_bound_bytes'], 1):.0f}x "
+        "larger; an in-memory dataset would add at least the corpus to RSS"
+    )
+    report.notes.append(
+        "bit-identity: the store-backed prefetched run replays the exact "
+        "batch sequence of the historic in-memory loader on every "
+        "executor backend"
+    )
+    if pre["host_cores"] < 2:
+        report.notes.append(
+            "prefetch throughput needs a second core to build batches "
+            "on; on this single-core host expect ~1x (the CI gate runs "
+            "on multi-core runners)"
+        )
+    report.metrics = {
+        "ingest_frames_per_s": ing["frames_per_s"],
+        "ingest_mb_per_s": ing["mb_per_s"],
+        "corpus_bytes": sweep["corpus_bytes"],
+        "mapped_bound_bytes": sweep["mapped_bound_bytes"],
+        "mapped_peak_bytes": sweep["mapped_peak_bytes"],
+        "mapped_within_bound": sweep["mapped_within_bound"],
+        "rss_delta_bytes": sweep["rss_delta_bytes"],
+        "rss_below_corpus": sweep["rss_below_corpus"],
+        "bit_identical": ident["bit_identical"],
+        "bit_identical_by_executor": ident["executors"],
+        "prefetch_speedup": pre["speedup"],
+        "prefetch_hit_rate": pre["hit_rate"],
+        "prefetch_stalls": pre["stalls"],
+        "prefetch_executor": pre["executor"],
+        "prefetch_host_cores": pre["host_cores"],
+        "sync_batches_per_s": pre["sync_batches_per_s"],
+        "stream_batches_per_s": pre["stream_batches_per_s"],
+    }
+    if bench_dir:
+        os.makedirs(bench_dir, exist_ok=True)
+        path = write_manifest(
+            bench_dir,
+            "framestore",
+            config={"seed": seed, "corpus_frames": corpus_frames},
+            metrics=report.metrics,
+        )
+        report.notes.append(f"manifest: {path}")
+    return report

@@ -78,12 +78,12 @@ def run_walltime(
     """
     import os
 
-    from ..data.loader import BatchLoader
+    from ..data.loader import make_loader
     from ..model.environment import make_batch
     from ..parallel.trainer import DistributedFEKF
 
     setup = experiment_setup("Cu", frames_per_temperature=8)
-    loader = BatchLoader(setup.train, batch_size, seed=0)
+    loader = make_loader(setup.train, batch_size, seed=0)
     batches = [
         make_batch(setup.train, idx, setup.cfg) for idx in loader.epoch(0)
     ][:steps]

@@ -27,7 +27,7 @@ import numpy as np
 
 from ..autograd import Tensor, make_op, ops
 from ..autograd.instrument import register_op
-from ..data.dataset import Dataset
+from ..data.source import FrameSource
 from .config import DeePMDConfig
 from .smooth import smooth_graph, smooth_np
 
@@ -85,23 +85,28 @@ class DescriptorBatch:
 
 
 def make_batch(
-    dataset: Dataset, indices: np.ndarray, cfg: DeePMDConfig
+    source: FrameSource, indices: np.ndarray, cfg: DeePMDConfig
 ) -> DescriptorBatch:
-    """Assemble a :class:`DescriptorBatch` for the given frame indices."""
-    indices = np.asarray(indices)
-    nb = dataset.ensure_neighbors(cfg.rcut, cfg.nmax)
+    """Assemble a :class:`DescriptorBatch` for the given frame indices.
+
+    ``source`` is any :class:`~repro.data.source.FrameSource` -- the
+    in-memory dataset serves views of its cached tables, an out-of-core
+    store reads exactly these frames; both produce bit-identical batches
+    for equal frames (same neighbor kernel, same packing)."""
+    indices = np.asarray(indices, dtype=np.int64)
+    nb = source.neighbor_tables(indices, cfg.rcut, cfg.nmax)
+    frames = source.get_frames(indices)
     b = len(indices)
-    n = dataset.n_atoms
-    local_idx = nb.idx[indices]  # (B, N, Nm) atom index within frame
+    n = source.n_atoms
     frame_offset = (np.arange(b) * n)[:, None, None]
     return DescriptorBatch(
-        coords=dataset.positions[indices],
-        idx_flat=local_idx + frame_offset,
-        shift=nb.shift[indices],
-        mask=nb.mask[indices],
-        species=dataset.species,
-        energies=dataset.energies[indices],
-        forces=dataset.forces[indices],
+        coords=frames.positions,
+        idx_flat=nb.idx + frame_offset,  # (B, N, Nm) within-frame -> flat
+        shift=nb.shift,
+        mask=nb.mask,
+        species=source.species,
+        energies=frames.energies,
+        forces=frames.forces,
     )
 
 
@@ -113,15 +118,17 @@ class EnvStats:
     dstd: np.ndarray  # (4,)
 
 
-def compute_stats(dataset: Dataset, cfg: DeePMDConfig, max_frames: int = 32) -> EnvStats:
-    """Dataset davg/dstd of the raw R~ columns over real neighbor slots.
+def compute_stats(source: FrameSource, cfg: DeePMDConfig, max_frames: int = 32) -> EnvStats:
+    """Source davg/dstd of the raw R~ columns over real neighbor slots.
 
     Follows the DeePMD convention: the three angular columns share the
     radial column's scale and are not shifted (their mean vanishes by
-    symmetry), which keeps normalization rotation-equivariant.
+    symmetry), which keeps normalization rotation-equivariant.  Reads at
+    most ``max_frames`` frames, so an out-of-core source never has to
+    materialize its corpus.
     """
-    take = np.linspace(0, dataset.n_frames - 1, min(max_frames, dataset.n_frames)).astype(int)
-    batch = make_batch(dataset, take, cfg)
+    take = np.linspace(0, source.n_frames - 1, min(max_frames, source.n_frames)).astype(int)
+    batch = make_batch(source, take, cfg)
     env = _env_intermediates(batch.coords, batch, cfg)
     m = batch.mask
     s = env.s[m]

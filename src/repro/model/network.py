@@ -25,7 +25,7 @@ import numpy as np
 
 from ..autograd import Tensor, grad, no_grad, ops
 from ..autograd.fuse import linear, linear_tanh, residual_linear_tanh
-from ..data.dataset import Dataset
+from ..data.source import FrameSource
 from .config import DeePMDConfig
 from .environment import (
     DescriptorBatch,
@@ -114,12 +114,15 @@ class DeePMD:
     @classmethod
     def for_dataset(
         cls,
-        dataset: Dataset,
+        dataset: FrameSource,
         cfg: Optional[DeePMDConfig] = None,
         seed: int = 0,
     ) -> "DeePMD":
         """Build a model with normalization stats and energy bias taken
-        from the dataset (the standard construction path)."""
+        from the source (the standard construction path).  Any
+        :class:`~repro.data.source.FrameSource` works -- stats sample a
+        bounded number of frames, so an out-of-core store stays
+        out-of-core."""
         if cfg is None:
             cfg = DeePMDConfig.paper()
         stats = compute_stats(dataset, cfg)
@@ -216,9 +219,9 @@ class DeePMD:
         return EnergyForces(energy=e.data, forces=-gc.data)
 
     def evaluate_rmse(
-        self, dataset: Dataset, max_frames: int = 128, fused_env: bool = True
+        self, dataset: FrameSource, max_frames: int = 128, fused_env: bool = True
     ) -> dict[str, float]:
-        """Energy (per atom) and force RMSE over (a sample of) a dataset."""
+        """Energy (per atom) and force RMSE over (a sample of) a source."""
         take = np.arange(dataset.n_frames)
         if dataset.n_frames > max_frames:
             take = np.linspace(0, dataset.n_frames - 1, max_frames).astype(int)

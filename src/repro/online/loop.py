@@ -41,7 +41,7 @@ import numpy as np
 
 from ..analysis.concurrency import Guarded, TrackedLock
 from ..data.dataset import Dataset
-from ..data.store import load_dataset, save_dataset
+from ..data.store import read_npz, write_npz
 from ..md.cell import Cell
 from ..model.ensemble import ModelEnsemble
 from ..md.potentials import Potential
@@ -144,6 +144,7 @@ class OnlineLearner:
         holdout: Optional[Dataset] = None,
         seed: int = 0,
         service: Optional[InferenceService] = None,
+        label_store=None,
     ):
         self.ensemble = ensemble
         self.cfg = cfg or OnlineConfig()
@@ -183,6 +184,9 @@ class OnlineLearner:
             max_new_frames=self.cfg.max_new_frames,
         )
         self.labeler = Labeler(reference, species, cell)
+        # an optional live ShardedFrameStore: every admitted segment is
+        # appended durably, and training rounds read straight from it --
+        # the label pool outlives the process and never has to fit RAM
         self.trainer = IncrementalTrainer(
             ensemble,
             kalman_cfg=kalman_cfg,
@@ -190,6 +194,7 @@ class OnlineLearner:
             epochs_per_round=self.cfg.epochs_per_round,
             seed=seed,
             compiled=self.cfg.compiled,
+            label_store=label_store,
         )
 
         # loop state (all of it checkpointed)
@@ -440,7 +445,7 @@ class OnlineLearner:
 
     def _holdout_rmse(self) -> float:
         if self.holdout is None:
-            dataset = self.trainer.labeled
+            dataset = self.trainer.pool
             if dataset is None:
                 return float("inf")
         else:
@@ -467,7 +472,7 @@ class OnlineLearner:
                 version=version,
                 wall_s=self._wall_base + time.perf_counter() - self._t0,
                 force_rmse=rmse,
-                trained_frames=self.trainer.labeled.n_frames,
+                trained_frames=self.trainer.pool_frames,
                 round_index=self.trained_rounds,
             )
         )
@@ -527,9 +532,21 @@ class OnlineLearner:
             else np.empty((0, 3)),
             **{f"model/{k}": v for k, v in self._walker_model.state_dict().items()},
         )
-        if self.trainer.labeled is not None:
-            save_dataset(self.trainer.labeled, os.path.join(path, "labeled.npz"))
+        if self.trainer.label_store is not None:
+            # the store IS the durable pool: flush it and record its
+            # identity so resume can verify the pool matches the filters
+            self.trainer.label_store.flush()
+            label_pool = {
+                "store_path": self.trainer.label_store.path,
+                "store_frames": self.trainer.label_store.n_frames,
+                "store_fingerprint": self.trainer.label_store.fingerprint(),
+            }
+        else:
+            label_pool = None
+            if self.trainer.labeled is not None:
+                write_npz(self.trainer.labeled, os.path.join(path, "labeled.npz"))
         meta = {
+            "label_pool": label_pool,
             "ledger": self.ledger.as_dict(),
             "swaps": [s.as_dict() for s in self.swaps],
             "trained_rounds": self.trained_rounds,
@@ -560,12 +577,33 @@ class OnlineLearner:
             self._walker_model.load_state_dict(walker)
         with self._walker_lock:
             self._walker_mailbox.set(None)
-        labeled_path = os.path.join(path, "labeled.npz")
-        self.trainer.labeled = (
-            load_dataset(labeled_path) if os.path.exists(labeled_path) else None
-        )
         with open(os.path.join(path, "online.json")) as fh:
             meta = json.load(fh)
+        pool_meta = meta.get("label_pool")
+        if self.trainer.label_store is not None:
+            # the filters in this checkpoint were trained on exactly the
+            # recorded pool; a store that has since diverged would break
+            # the bit-exact-resume contract, so fail loudly instead
+            if pool_meta is None:
+                raise ValueError(
+                    "checkpoint has an npz label pool but the learner is "
+                    "store-backed; resume without label_store"
+                )
+            store = self.trainer.label_store
+            if (
+                store.n_frames != int(pool_meta["store_frames"])
+                or store.fingerprint() != pool_meta["store_fingerprint"]
+            ):
+                raise ValueError(
+                    f"label store at {store.path} does not match the "
+                    f"checkpoint (expected {pool_meta['store_frames']} "
+                    f"frames, fingerprint {pool_meta['store_fingerprint'][:12]}...)"
+                )
+        else:
+            labeled_path = os.path.join(path, "labeled.npz")
+            self.trainer.labeled = (
+                read_npz(labeled_path) if os.path.exists(labeled_path) else None
+            )
         self.ledger.load_dict(meta["ledger"])
         self.swaps = [SwapRecord.from_dict(d) for d in meta["swaps"]]
         with self._state_lock:

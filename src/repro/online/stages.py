@@ -217,6 +217,15 @@ class IncrementalTrainer:
     training epochs themselves run through the standard
     :class:`~repro.train.Trainer`, so compiled step engines, callbacks
     and telemetry all apply unchanged.
+
+    The label pool lives in one of two places: the historical in-memory
+    :class:`Dataset` (``labeled``), or -- when ``label_store`` is given
+    -- a live :class:`~repro.data.framestore.ShardedFrameStore` that
+    every admitted segment is appended into.  A store-backed pool is
+    durable across crashes and never rebinds the corpus size to RAM,
+    which is what an unbounded label stream needs; :attr:`pool` is the
+    uniform :class:`~repro.data.source.FrameSource` view training reads
+    either way.
     """
 
     def __init__(
@@ -228,6 +237,7 @@ class IncrementalTrainer:
         epochs_per_round: int = 3,
         seed: int = 0,
         compiled: bool | None = None,
+        label_store=None,
     ):
         self.ensemble = ensemble
         self.batch_size = int(batch_size)
@@ -242,9 +252,27 @@ class IncrementalTrainer:
             for k, m in enumerate(ensemble.models)
         ]
         self.labeled: Dataset | None = None
+        #: live append target for labeled frames (out-of-core pool)
+        self.label_store = label_store
+
+    # ------------------------------------------------------------------
+    @property
+    def pool(self):
+        """The accumulated label pool as a frame source (or ``None``)."""
+        if self.label_store is not None:
+            return self.label_store if self.label_store.n_frames else None
+        return self.labeled
+
+    @property
+    def pool_frames(self) -> int:
+        src = self.pool
+        return 0 if src is None else src.n_frames
 
     def accumulate(self, new: Dataset) -> None:
         """Append newly labeled frames to the training pool."""
+        if self.label_store is not None:
+            self.label_store.append_dataset(new)
+            return
         if self.labeled is None:
             self.labeled = new
             return
@@ -262,15 +290,16 @@ class IncrementalTrainer:
     @property
     def ready(self) -> bool:
         """Enough accumulated labels for at least one full minibatch."""
-        return self.labeled is not None and self.labeled.n_frames >= self.batch_size
+        return self.pool_frames >= self.batch_size
 
     def train_round(self, seed_offset: int) -> None:
         """Fine-tune every member on the accumulated pool."""
         from ..train.trainer import Trainer  # deferred: train imports stages
 
+        pool = self.pool
         for model, opt in zip(self.ensemble.models, self.optimizers):
             Trainer(
-                model, opt, self.labeled, None,
+                model, opt, pool, None,
                 batch_size=self.batch_size,
                 seed=seed_offset + 1,
             ).run(max_epochs=self.epochs_per_round)

@@ -57,6 +57,9 @@ __all__ = [
     "GradientWorker",
     "WorkerSpec",
     "TASK_METHODS",
+    "PrefetchWorker",
+    "PrefetchSpec",
+    "PREFETCH_TASKS",
 ]
 
 
@@ -432,6 +435,92 @@ class GradientWorker:
             ops=ops,
         )
         return TaskResult(payload=payload, telemetry=telemetry)
+
+
+#: methods dispatchable through :meth:`PrefetchWorker.run`
+PREFETCH_TASKS = frozenset({"make_batch", "noop"})
+
+
+class PrefetchWorker:
+    """Batch-construction compute for the streaming data loader.
+
+    The descriptor-input half of a training step -- fetch frames, build
+    neighbor tables, assemble the :class:`DescriptorBatch` -- is a pure
+    function of (frame source, index array, descriptor config), exactly
+    the shape the rank-worker protocol wants.  The
+    :class:`~repro.data.loader.StreamingLoader` runs these workers on an
+    executor so batch construction overlaps the optimizer's Kalman
+    algebra (thread backend: the table/gather kernels are numpy and BLAS
+    releases the GIL; process backend: a picklable store *handle*
+    travels, never frame data).
+
+    Same envelope as :class:`GradientWorker`: drive exclusively through
+    :meth:`run`, which returns a :class:`TaskResult` whose telemetry the
+    parent merges; under capture the batch build is wrapped in a
+    ``data.prefetch`` span so prefetch overlap is visible in the trace.
+    """
+
+    def __init__(self, source, cfg, rank: int = 0):
+        self.source = source
+        self.cfg = cfg
+        self.rank = int(rank)
+
+    # ------------------------------------------------------------------
+    def make_batch(self, indices: np.ndarray) -> DescriptorBatch:
+        from ..model.environment import make_batch
+
+        return make_batch(self.source, indices, self.cfg)
+
+    def noop(self) -> None:
+        """Padding task for partial final groups (world_size alignment)."""
+
+    # ------------------------------------------------------------------
+    def run(
+        self, method: str, args: tuple = (), capture: "bool | str" = False
+    ) -> TaskResult:
+        if method not in PREFETCH_TASKS:
+            raise ValueError(f"unknown prefetch task {method!r}")
+        t0 = time.perf_counter()
+        c0 = time.process_time()
+        if capture:
+            with Tracer(keep_events=True) as tracer:
+                if method == "make_batch":
+                    with tracer.span(
+                        "data.prefetch", rank=self.rank, frames=len(args[0])
+                    ):
+                        payload = getattr(self, method)(*args)
+                else:
+                    payload = getattr(self, method)(*args)
+            spans = [e.as_dict() for e in tracer.events]
+        else:
+            payload = getattr(self, method)(*args)
+            spans = []
+        telemetry = WorkerTelemetry(
+            rank=self.rank,
+            pid=os.getpid(),
+            wall_s=time.perf_counter() - t0,
+            cpu_s=time.process_time() - c0,
+            counters={"data.prefetch_tasks": 1.0},
+            spans=spans,
+        )
+        return TaskResult(payload=payload, telemetry=telemetry)
+
+
+@dataclass
+class PrefetchSpec:
+    """Picklable recipe for building prefetch ranks.
+
+    ``source`` must be picklable for the process backend -- an in-memory
+    :class:`~repro.data.dataset.Dataset` ships its arrays once at start;
+    a :class:`~repro.data.framestore.ShardedFrameStore` ships only its
+    path handle and re-opens (mmap) inside the worker.
+    """
+
+    source: Any
+    cfg: Any
+
+    def build(self, rank: int = 0) -> PrefetchWorker:
+        return PrefetchWorker(self.source, self.cfg, rank=rank)
 
 
 @dataclass

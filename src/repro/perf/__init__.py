@@ -1,6 +1,6 @@
 """repro.perf -- optimization presets, memory accounting, phase profiling."""
 
-from .memory import MB, MemoryReport, footprint_report, measured_update_peak, paper_layer_sizes
+from .memory import MB, MemoryReport, footprint_report, measured_update_peak, paper_layer_sizes, process_rss_bytes
 from .presets import BASELINE, OPT1, OPT2, OPT3, PRESET_ORDER, PRESETS, Preset
 from .timer import PhaseProfile, UpdateProfile, profile_from_events, profile_update
 
@@ -16,6 +16,7 @@ __all__ = [
     "footprint_report",
     "measured_update_peak",
     "paper_layer_sizes",
+    "process_rss_bytes",
     "MB",
     "PhaseProfile",
     "UpdateProfile",

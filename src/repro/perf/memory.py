@@ -30,6 +30,27 @@ from ..telemetry.trace import span as _span
 MB = 1024 * 1024
 
 
+def process_rss_bytes() -> int:
+    """Resident set size of this process, in bytes.
+
+    Reads ``VmRSS`` from ``/proc/self/status`` (Linux); falls back to
+    ``resource.getrusage`` -- whose ``ru_maxrss`` is the *peak*, not the
+    current residency -- on platforms without procfs.  Used by the
+    out-of-core streaming benchmark to certify that sweeping a
+    larger-than-RAM-bound corpus keeps residency flat.
+    """
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
 @dataclass
 class MemoryReport:
     """Footprint breakdown for one network/blocksize configuration."""

@@ -14,9 +14,8 @@ from typing import Optional, Protocol, Sequence
 
 import numpy as np
 
-from ..data.dataset import Dataset
-from ..data.loader import BatchLoader
-from ..model.environment import make_batch
+from ..data.loader import make_loader
+from ..data.source import FrameSource
 from ..model.network import DeePMD
 from ..telemetry import metrics as _metrics
 from ..telemetry.trace import span as _span
@@ -102,32 +101,60 @@ class TargetCriterion:
 
 
 class Trainer:
-    """Drives an optimizer over a dataset until target RMSE or max epochs."""
+    """Drives an optimizer over a frame source until target RMSE or max
+    epochs.
+
+    ``train_set``/``test_set`` are any :class:`~repro.data.source.
+    FrameSource` -- the in-memory dataset or an out-of-core
+    :class:`~repro.data.framestore.ShardedFrameStore`.  With
+    ``prefetch=True`` the loader builds descriptor batches on rank
+    workers ahead of the optimizer (see :class:`~repro.data.loader.
+    StreamingLoader`); the batch *sequence* is bit-identical either way.
+    """
 
     def __init__(
         self,
         model: DeePMD,
         optimizer: SupportsStepBatch,
-        train_set: Dataset,
-        test_set: Optional[Dataset] = None,
+        train_set: FrameSource,
+        test_set: Optional[FrameSource] = None,
         batch_size: int = 1,
         seed: int = 0,
         eval_frames: int = 64,
         eval_every: int = 1,
         evals_per_epoch: int = 1,
+        window: Optional[int] = None,
+        prefetch: bool = False,
+        prefetch_executor: Optional[str] = None,
+        prefetch_workers: int = 2,
+        prefetch_depth: int = 2,
     ):
         self.model = model
         self.optimizer = optimizer
         self.train_set = train_set
         self.test_set = test_set
         self.batch_size = int(batch_size)
-        self.loader = BatchLoader(train_set, self.batch_size, seed=seed)
+        self.loader = make_loader(
+            train_set,
+            self.batch_size,
+            cfg=model.cfg,
+            seed=seed,
+            window=window,
+            prefetch=prefetch,
+            executor=prefetch_executor,
+            workers=prefetch_workers,
+            depth=prefetch_depth,
+        )
         self.eval_frames = int(eval_frames)
         #: evaluate RMSE every k epochs (always on the final epoch)
         self.eval_every = max(int(eval_every), 1)
         #: additionally evaluate k times *within* each epoch (fractional
         #: epochs_to_target resolution for fast-converging optimizers)
         self.evals_per_epoch = max(int(evals_per_epoch), 1)
+
+    def close(self) -> None:
+        """Release loader resources (prefetch workers, if any)."""
+        self.loader.close()
 
     # ------------------------------------------------------------------
     def _evaluate(self, epoch: float, t0: float, train_seconds: float) -> EpochRecord:
@@ -177,15 +204,18 @@ class Trainer:
         steps_counter = _metrics.REGISTRY.counter("train.steps")
         with _span("train.run", max_epochs=max_epochs, batch_size=self.batch_size):
             for epoch in range(1, max_epochs + 1):
-                batches = list(self.loader.epoch(epoch - 1))
-                n_batches = len(batches)
+                n_batches = len(self.loader)
                 checkpoints = {
                     max(1, round(n_batches * k / self.evals_per_epoch))
                     for k in range(1, self.evals_per_epoch + 1)
                 }
                 stop = False
-                for b_idx, idx in enumerate(batches, start=1):
-                    batch = make_batch(self.train_set, idx, self.model.cfg)
+                # batch construction happens inside the loader -- the
+                # synchronous path builds right here, the streaming path
+                # overlaps it with the optimizer steps below; t_step
+                # timing stays around the optimizer only either way
+                batch_iter = self.loader.iter_batches(self.model.cfg, epoch - 1)
+                for b_idx, (idx, batch) in enumerate(batch_iter, start=1):
                     t_step = time.perf_counter()
                     with _span("train.step", epoch=epoch, batch=b_idx):
                         stats = self.optimizer.step_batch(batch)
@@ -218,6 +248,9 @@ class Trainer:
                         result.converged = True
                         stop = True
                         break
+                # early stop / mid-epoch exit abandons the iterator: close
+                # it explicitly so a prefetch producer stops immediately
+                batch_iter.close()
                 if stop:
                     break
                 if epoch % self.eval_every != 0 and epoch != max_epochs:

@@ -1,0 +1,33 @@
+"""Fixture: full-corpus materialization inside a streaming hot path.
+
+This file lives under a ``train/`` directory on purpose -- the
+``in-memory-materialize`` rule is scoped to the streaming hot paths
+(train/online), where a frame source may be an out-of-core store.
+"""
+
+import numpy as np
+
+
+def bad_full_slices(source):
+    pos = source.positions[:]          # violation: whole-corpus read
+    f = source.forces[:]               # violation
+    e = source.energies[:]             # violation
+    return pos, f, e
+
+
+def bad_to_dataset(store):
+    return store.to_dataset()          # violation: materializes the store
+
+
+def ok_patterns(source, store, indices):
+    # windowed reads through the FrameSource API are the sanctioned path
+    frames = source.get_frames(indices)
+    subset = store.to_dataset(indices)          # explicit indices: fine
+    window = source.positions[:10]              # bounded slice: fine
+    first = source.energies[0]                  # scalar read: fine
+    buf = np.zeros(3)
+    buf[:] = 1.0                                # store context: fine
+    other = source.weights[:]                   # not a frame array: fine
+    # lint: disable=in-memory-materialize
+    suppressed = source.temperatures[:]
+    return frames, subset, window, first, buf, other, suppressed

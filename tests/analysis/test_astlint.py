@@ -80,6 +80,26 @@ class TestRulesFire:
         by_rule = _rules_in(FIXTURES / "unordered_reduction_violation.py")
         assert len(by_rule["unordered-reduction"]) == 2
 
+    def test_in_memory_materialize(self):
+        by_rule = _rules_in(FIXTURES / "train" / "materialize_violation.py")
+        findings = by_rule["in-memory-materialize"]
+        # three full slices + one zero-arg to_dataset(); the bounded
+        # slice, store-context fill, non-frame attr and suppressed line
+        # all stay silent
+        assert len(findings) == 4
+        attrs = {f.context.get("attr") for f in findings if f.context.get("attr")}
+        assert attrs == {"positions", "forces", "energies"}
+        assert any("to_dataset" in f.message for f in findings)
+
+    def test_materialize_ignored_outside_streaming_paths(self, tmp_path):
+        cold = tmp_path / "cold_analysis.py"
+        cold.write_text(
+            "def summarize(source):\n"
+            "    return source.positions[:], source.to_dataset()\n"
+        )
+        report = lint_paths([cold])
+        assert report.ok, report.render()
+
     @pytest.mark.parametrize("name", [
         "unseeded_random_violation.py",
         "wallclock_violation.py",
@@ -87,6 +107,7 @@ class TestRulesFire:
         "optim/float32_violation.py",
         "unregistered_op_violation.py",
         "unordered_reduction_violation.py",
+        "train/materialize_violation.py",
     ])
     def test_every_fixture_fails_the_gate(self, name):
         report = lint_paths([FIXTURES / name])

@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from repro.data import load_dataset
+from repro.data import open_source, read_npz
 from repro.data.__main__ import main
 
 
@@ -11,7 +11,7 @@ class TestDataCLI:
         out = str(tmp_path / "al.npz")
         assert main(["Al", "--frames", "2", "--size", "tiny", "--out", out]) == 0
         assert "Saving npy file done" in capsys.readouterr().out
-        ds = load_dataset(out)
+        ds = read_npz(out)
         assert ds.name == "Al" and ds.n_frames == 8  # 2 x 4 temperatures
 
     def test_neighbors_flag(self, tmp_path, capsys):
@@ -19,11 +19,34 @@ class TestDataCLI:
         assert main(
             ["Cu", "--frames", "1", "--size", "tiny", "--out", out, "--neighbors"]
         ) == 0
-        ds = load_dataset(out)
-        assert ds._neighbors is not None
+        ds = read_npz(out)
+        assert ds.cached_neighbors is not None
 
     def test_seed_reproducible(self, tmp_path):
         a, b = str(tmp_path / "a.npz"), str(tmp_path / "b.npz")
         main(["Mg", "--frames", "1", "--size", "tiny", "--seed", "5", "--out", a])
         main(["Mg", "--frames", "1", "--size", "tiny", "--seed", "5", "--out", b])
-        assert np.array_equal(load_dataset(a).positions, load_dataset(b).positions)
+        assert np.array_equal(read_npz(a).positions, read_npz(b).positions)
+
+    def test_store_ingest(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "cu_store")
+        assert main(
+            [
+                "Cu",
+                "--frames",
+                "2",
+                "--size",
+                "tiny",
+                "--store",
+                store_dir,
+                "--shard-capacity",
+                "4",
+            ]
+        ) == 0
+        assert "ingested 6 frames" in capsys.readouterr().out  # 2 x 3 temps
+        with open_source(store_dir) as src:
+            assert src.n_frames == 6
+            # 6 frames at 4 per shard -> one sealed + one active shard
+            assert len(src.shards) == 2
+            frames = src.get_frames(np.arange(6))
+            assert frames.positions.shape[0] == 6

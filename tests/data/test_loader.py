@@ -93,3 +93,116 @@ def test_loader_invariants(frames, bs, seed):
     assert len(set(seen.tolist())) == len(seen)  # no duplicates
     assert sorted(seen.tolist()) == list(range(frames))  # full coverage
     assert all(len(b) <= bs for b in batches)
+
+
+class TestWindowedLoader:
+    def test_default_window_is_historic_shuffle(self):
+        """window=None (the default) replays the pre-FrameSource order."""
+        loader = BatchLoader(_ds(12), 4, seed=5)
+        legacy = np.random.default_rng(5 + 7919 * 2).permutation(12)
+        assert np.array_equal(np.concatenate(list(loader.epoch(2))), legacy)
+
+    def test_window_bounds_batch_locality(self):
+        loader = BatchLoader(_ds(32), 4, seed=1, window=8)
+        for batch in loader.epoch(0):
+            assert batch.max() - batch.min() < 8
+
+    def test_window_still_covers_epoch(self):
+        loader = BatchLoader(_ds(30), 5, seed=2, window=10, drop_last=False)
+        seen = np.concatenate(list(loader.epoch(0)))
+        assert sorted(seen.tolist()) == list(range(30))
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            BatchLoader(_ds(8), 2, window=0)
+
+
+class TestMakeLoader:
+    def test_plain_loader_by_default(self):
+        from repro.data import StreamingLoader, make_loader
+
+        loader = make_loader(_ds(8), 2, seed=1)
+        assert type(loader) is BatchLoader
+        assert not isinstance(loader, StreamingLoader)
+
+    def test_prefetch_returns_streaming(self, cu_dataset, small_cfg):
+        from repro.data import StreamingLoader, make_loader
+
+        loader = make_loader(
+            cu_dataset, 4, cfg=small_cfg, prefetch=True, executor="serial"
+        )
+        try:
+            assert isinstance(loader, StreamingLoader)
+        finally:
+            loader.close()
+
+    def test_prefetch_without_cfg_rejected(self):
+        from repro.data import make_loader
+
+        with pytest.raises(TypeError):
+            make_loader(_ds(8), 2, prefetch=True)
+
+    def test_same_params_same_batches(self):
+        from repro.data import make_loader
+
+        a = make_loader(_ds(20), 4, seed=7, window=8)
+        b = make_loader(_ds(20), 4, seed=7, window=8)
+        assert all(
+            np.array_equal(x, y)
+            for x, y in zip(a.epoch(1), b.epoch(1))
+        )
+
+
+class TestStreamingEquivalence:
+    """StreamingLoader yields the synchronous loader's exact batch
+    sequence -- the bit-identity contract of the prefetch path."""
+
+    def test_streaming_matches_sync_batches(self, cu_dataset, small_cfg):
+        from repro.data import StreamingLoader
+
+        sync = BatchLoader(cu_dataset, 4, seed=3)
+        ref = [
+            (idx, batch) for idx, batch in sync.iter_batches(small_cfg, 0)
+        ]
+        with StreamingLoader(
+            cu_dataset, 4, cfg=small_cfg, seed=3, executor="serial"
+        ) as stream:
+            got = list(stream.iter_batches(epoch_index=0))
+        assert len(got) == len(ref)
+        for (ri, rb), (gi, gb) in zip(ref, got):
+            assert np.array_equal(ri, gi)
+            assert np.array_equal(rb.energies, gb.energies)
+            assert np.array_equal(rb.coords, gb.coords)
+            assert np.array_equal(rb.idx_flat, gb.idx_flat)
+
+    def test_streaming_counts_batches(self, cu_dataset, small_cfg):
+        from repro.data import StreamingLoader
+
+        with StreamingLoader(
+            cu_dataset, 4, cfg=small_cfg, seed=3, executor="serial"
+        ) as stream:
+            stream.warm_up()
+            n = sum(1 for _ in stream.iter_batches(epoch_index=0))
+            assert stream.stats["batches"] == n
+            assert stream.stats["hits"] + stream.stats["stalls"] == n
+
+
+class TestDeprecatedLoaderSurface:
+    def test_dataset_kwarg_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="make_loader"):
+            loader = BatchLoader(dataset=_ds(8), batch_size=2)
+        assert loader.source.n_frames == 8
+
+    def test_dataset_property_warns(self):
+        loader = BatchLoader(_ds(8), 2)
+        with pytest.warns(DeprecationWarning, match="source"):
+            assert loader.dataset is loader.source
+
+    def test_both_source_and_dataset_rejected(self):
+        ds = _ds(4)
+        with pytest.raises(TypeError):
+            BatchLoader(ds, 2, dataset=ds)
+
+    def test_no_source_rejected(self):
+        with pytest.raises(TypeError):
+            BatchLoader(batch_size=2)

@@ -1,0 +1,106 @@
+"""FrameSource protocol surface: windowed_order and open_source."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    Dataset,
+    ShardedFrameStore,
+    open_source,
+    windowed_order,
+    write_npz,
+)
+
+
+class TestWindowedOrder:
+    def test_none_window_replays_historic_shuffle(self):
+        """window=None must be bit-exactly the pre-FrameSource loader
+        shuffle: default_rng(seed + 7919*epoch).permutation(n)."""
+        for n, seed, epoch in [(10, 0, 0), (37, 5, 3), (128, 11, 7)]:
+            legacy = np.random.default_rng(seed + 7919 * epoch).permutation(n)
+            assert np.array_equal(windowed_order(n, None, seed, epoch), legacy)
+
+    def test_deterministic(self):
+        a = windowed_order(100, 16, seed=3, epoch=2)
+        b = windowed_order(100, 16, seed=3, epoch=2)
+        assert np.array_equal(a, b)
+
+    def test_epochs_differ(self):
+        a = windowed_order(100, 16, seed=3, epoch=0)
+        b = windowed_order(100, 16, seed=3, epoch=1)
+        assert not np.array_equal(a, b)
+
+    def test_window_locality(self):
+        """Each contiguous run of the order stays inside one window, so
+        an LRU shard cache sized for one window serves the whole epoch."""
+        n, w = 96, 16
+        order = windowed_order(n, w, seed=0, epoch=0)
+        for lo in range(0, n, w):
+            chunk = order[lo : lo + w]
+            assert chunk.min() // w == chunk.max() // w
+
+    def test_window_covers_all_frames(self):
+        order = windowed_order(100, 7, seed=9, epoch=4)
+        assert sorted(order.tolist()) == list(range(100))
+
+    def test_oversized_window_equals_none(self):
+        a = windowed_order(20, 50, seed=1, epoch=0)
+        b = windowed_order(20, None, seed=1, epoch=0)
+        assert np.array_equal(a, b)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            windowed_order(10, 0, seed=0, epoch=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 60), st.integers(1, 20), st.integers(0, 50))
+def test_windowed_order_is_permutation(n, window, seed):
+    order = windowed_order(n, window, seed, epoch=0)
+    assert sorted(order.tolist()) == list(range(n))
+
+
+class TestOpenSource:
+    def test_dataset_passes_through(self, cu_dataset):
+        assert open_source(cu_dataset) is cu_dataset
+
+    def test_store_passes_through(self, cu_dataset, tmp_path):
+        with ShardedFrameStore.ingest(
+            str(tmp_path / "s"), cu_dataset, shard_capacity=8
+        ) as store:
+            assert open_source(store) is store
+
+    def test_npz_path_loads_dataset(self, cu_dataset, tmp_path):
+        path = str(tmp_path / "cu.npz")
+        write_npz(cu_dataset, path)
+        src = open_source(path)
+        assert isinstance(src, Dataset)
+        assert np.array_equal(src.positions, cu_dataset.positions)
+
+    def test_store_dir_opens_read_only(self, cu_dataset, tmp_path):
+        path = str(tmp_path / "store")
+        with ShardedFrameStore.ingest(path, cu_dataset, shard_capacity=8):
+            pass
+        with open_source(path) as src:
+            assert isinstance(src, ShardedFrameStore)
+            assert src.mode == "r"
+            assert src.n_frames == cu_dataset.n_frames
+
+    def test_dir_without_manifest_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="manifest"):
+            open_source(str(tmp_path))
+
+    def test_unknown_path_rejected(self, tmp_path):
+        bad = tmp_path / "frames.csv"
+        bad.write_text("x")
+        with pytest.raises(ValueError):
+            open_source(str(bad))
+
+    def test_kwargs_only_for_paths(self, cu_dataset):
+        with pytest.raises(TypeError):
+            open_source(cu_dataset, mode="r")
+
+    def test_non_source_rejected(self):
+        with pytest.raises(TypeError):
+            open_source(42)

@@ -1,15 +1,16 @@
-"""npz persistence round-trips."""
+"""npz persistence round-trips (write_npz/read_npz + deprecated shims)."""
 
 import numpy as np
+import pytest
 
-from repro.data import load_dataset, save_dataset
+from repro.data import load_dataset, read_npz, save_dataset, write_npz
 
 
 class TestRoundtrip:
     def test_basic_roundtrip(self, cu_dataset, tmp_path):
         path = str(tmp_path / "cu.npz")
-        save_dataset(cu_dataset, path)
-        back = load_dataset(path)
+        write_npz(cu_dataset, path)
+        back = read_npz(path)
         assert back.name == cu_dataset.name
         assert np.array_equal(back.positions, cu_dataset.positions)
         assert np.array_equal(back.energies, cu_dataset.energies)
@@ -21,20 +22,37 @@ class TestRoundtrip:
     def test_neighbors_roundtrip(self, cu_dataset, tmp_path):
         cu_dataset.ensure_neighbors(3.2, 10)
         path = str(tmp_path / "cu_nb.npz")
-        save_dataset(cu_dataset, path)
-        back = load_dataset(path)
-        assert back._neighbors is not None
-        assert np.array_equal(back._neighbors.idx, cu_dataset._neighbors.idx)
-        assert back._neighbors.rcut == 3.2
+        write_npz(cu_dataset, path)
+        back = read_npz(path)
+        assert back.cached_neighbors is not None
+        assert np.array_equal(
+            back.cached_neighbors.idx, cu_dataset.cached_neighbors.idx
+        )
+        assert back.cached_neighbors.rcut == 3.2
 
     def test_no_neighbors_loads_none(self, cu_dataset, tmp_path):
         ds = cu_dataset.subset(np.arange(3))
-        ds._neighbors = None
+        ds.cached_neighbors = None
         path = str(tmp_path / "plain.npz")
-        save_dataset(ds, path)
-        assert load_dataset(path)._neighbors is None
+        write_npz(ds, path)
+        assert read_npz(path).cached_neighbors is None
 
     def test_creates_directories(self, cu_dataset, tmp_path):
         path = str(tmp_path / "deep" / "nested" / "cu.npz")
-        save_dataset(cu_dataset.subset(np.arange(2)), path)
-        assert load_dataset(path).n_frames == 2
+        write_npz(cu_dataset.subset(np.arange(2)), path)
+        assert read_npz(path).n_frames == 2
+
+
+class TestDeprecatedShims:
+    def test_save_dataset_warns_and_delegates(self, cu_dataset, tmp_path):
+        path = str(tmp_path / "old.npz")
+        with pytest.warns(DeprecationWarning, match="write_npz"):
+            save_dataset(cu_dataset, path)
+        assert np.array_equal(read_npz(path).positions, cu_dataset.positions)
+
+    def test_load_dataset_warns_and_delegates(self, cu_dataset, tmp_path):
+        path = str(tmp_path / "old2.npz")
+        write_npz(cu_dataset, path)
+        with pytest.warns(DeprecationWarning, match="read_npz"):
+            back = load_dataset(path)
+        assert np.array_equal(back.positions, cu_dataset.positions)

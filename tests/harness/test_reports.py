@@ -51,7 +51,7 @@ class TestRegistry:
             "scaling_walltime",
             "figure1", "ablations", "ablation_lambda_nu", "ablation_dataflow",
             "ablation_force_graph", "profile", "serve-bench", "compile",
-            "online",
+            "online", "framestore",
         }
         assert set(EXPERIMENTS) == expected
 
